@@ -1,0 +1,216 @@
+// Package approxhadoop is a from-scratch Go implementation of
+// ApproxHadoop (Goiri, Bianchini, Nagarakatte, Nguyen — ASPLOS 2015):
+// a MapReduce framework extended with three approximation mechanisms —
+// input data sampling, task dropping, and user-defined approximation —
+// and with rigorous error bounds (95% confidence intervals) derived
+// from multi-stage sampling theory (for sum/count/average reducers)
+// and extreme value theory (for min/max reducers).
+//
+// The package is a facade over the building blocks:
+//
+//   - a block-oriented DFS (HDFS stand-in) with lazy, deterministic,
+//     generator-backed blocks,
+//   - a discrete-event cluster simulator (servers, map/reduce slots,
+//     power model with ACPI S3) in which map tasks execute real Go
+//     code while scheduling happens on a virtual clock,
+//   - a Hadoop-style MapReduce runtime (JobTracker, locality-aware
+//     scheduling, random task order, shuffle, barrier-less
+//     incremental reduces, speculative execution),
+//   - the ApproxHadoop layer: sampling input formats, approximation
+//     controllers (static ratios, target error bounds with the paper's
+//     optimization, GEV-based early termination), and the
+//     multi-stage-sampling and extreme-value reducer templates.
+//
+// Quick start (the paper's ApproxWordCount, Figure 3):
+//
+//	sys := approxhadoop.NewSystem(approxhadoop.DefaultCluster())
+//	input := approxhadoop.SplitText("pages.txt", data, 1<<16)
+//	job := &approxhadoop.Job{
+//		Name:   "ApproxWordCount",
+//		Input:  input,
+//		Format: approxhadoop.ApproxTextInput{},
+//		NewMapper: func() approxhadoop.Mapper {
+//			return approxhadoop.MapperFunc(func(rec approxhadoop.Record, emit approxhadoop.Emitter) {
+//				for _, w := range strings.Fields(rec.Value) {
+//					emit.Emit(w, 1)
+//				}
+//			})
+//		},
+//		NewReduce:  approxhadoop.MultiStageSumReduce,
+//		Combine:    true,
+//		Controller: approxhadoop.TargetError(0.01), // ±1% with 95% confidence
+//	}
+//	res, err := sys.Run(job)
+//
+// Every output key carries an Estimate with a confidence interval;
+// Result.Runtime and Result.EnergyWh report the simulated cluster cost.
+package approxhadoop
+
+import (
+	"io"
+
+	"approxhadoop/internal/approx"
+	"approxhadoop/internal/cluster"
+	"approxhadoop/internal/core"
+	"approxhadoop/internal/dfs"
+	"approxhadoop/internal/mapreduce"
+	"approxhadoop/internal/stats"
+)
+
+// Core MapReduce types re-exported from the runtime.
+type (
+	// Job describes one MapReduce job (see mapreduce.Job).
+	Job = mapreduce.Job
+	// Result is a completed job's outputs, runtime and energy.
+	Result = mapreduce.Result
+	// Record is one input record.
+	Record = mapreduce.Record
+	// Mapper is user map() code.
+	Mapper = mapreduce.Mapper
+	// MapperFunc adapts a function to Mapper.
+	MapperFunc = mapreduce.MapperFunc
+	// Emitter receives intermediate pairs.
+	Emitter = mapreduce.Emitter
+	// KeyEstimate is one output key with its interval estimate.
+	KeyEstimate = mapreduce.KeyEstimate
+	// ReduceLogic is the reduce-side computation of one partition.
+	ReduceLogic = mapreduce.ReduceLogic
+	// Controller steers approximation during a job.
+	Controller = mapreduce.Controller
+	// Estimate is a point estimate with confidence interval.
+	Estimate = stats.Estimate
+
+	// File is a DFS file (a sequence of blocks).
+	File = dfs.File
+	// Block is one DFS block.
+	Block = dfs.Block
+
+	// ClusterConfig configures the simulated cluster.
+	ClusterConfig = cluster.Config
+	// CostModel converts task measurements to virtual durations.
+	CostModel = cluster.CostModel
+	// AnalyticCost is the t0 + M*tr + m*tp cost model of Equation 5.
+	AnalyticCost = cluster.AnalyticCost
+	// MeasuredCost charges tasks their real measured execution time.
+	MeasuredCost = cluster.MeasuredCost
+
+	// ApproxTextInput is the sampling text input format
+	// (ApproxTextInputFormat in the paper).
+	ApproxTextInput = approx.ApproxTextInput
+	// TextInput is the precise text input format.
+	TextInput = mapreduce.TextInputFormat
+)
+
+// DefaultCluster mirrors the paper's Xeon cluster: 10 servers with 8
+// map slots and 1 reduce slot each, 60 W idle / 150 W peak.
+func DefaultCluster() ClusterConfig { return cluster.DefaultConfig() }
+
+// PaperCost returns the analytic task cost model calibrated to produce
+// paper-scale simulated runtimes for the default synthetic workloads
+// (the alternative, MeasuredCost, charges tasks their real measured
+// compute time on the host).
+func PaperCost() AnalyticCost {
+	return AnalyticCost{T0: 1.5, Tr: 0.006, Tp: 0.024, RedPerK: 0.02}
+}
+
+// AtomCluster mirrors the paper's 60-node Atom cluster used for the
+// large scaling experiments.
+func AtomCluster() ClusterConfig { return cluster.AtomConfig() }
+
+// System is an ApproxHadoop deployment: a simulated cluster plus a DFS
+// namespace. Jobs run on a fresh cluster timeline each (see
+// internal/core for the implementation). Use Submit with an
+// Approximation spec for the paper's submission interface, or Run for
+// a fully-specified job.
+type System = core.System
+
+// Approximation is the paper's Section 4.2 job-submission contract:
+// explicit dropping/sampling ratios OR a target error bound at a
+// confidence level; the zero value runs precisely.
+type Approximation = core.Approximation
+
+// NewSystem builds a System with the given cluster configuration.
+func NewSystem(cfg ClusterConfig) *System { return core.NewSystem(cfg) }
+
+// SplitText splits text content into line-aligned blocks (like HDFS
+// text splits) and returns the file.
+func SplitText(name string, content []byte, blockSize int) *File {
+	return dfs.SplitText(name, content, blockSize)
+}
+
+// ---------------------------------------------------------------------------
+// Reducer templates
+// ---------------------------------------------------------------------------
+
+// MultiStageSumReduce builds the paper's MultiStageSamplingReducer for
+// sums per key (error bounds from two-stage sampling theory). Pass it
+// as Job.NewReduce.
+func MultiStageSumReduce(int) ReduceLogic { return approx.NewMultiStageReducer(approx.OpSum) }
+
+// MultiStageCountReduce is MultiStageSumReduce for 0/1 indicators.
+func MultiStageCountReduce(int) ReduceLogic { return approx.NewMultiStageReducer(approx.OpCount) }
+
+// MultiStageMeanReduce estimates per-unit means with ratio-estimator
+// error bounds.
+func MultiStageMeanReduce(int) ReduceLogic { return approx.NewMultiStageReducer(approx.OpMean) }
+
+// ApproxMinReduce builds the GEV-based minimum reducer (ApproxMinReducer).
+func ApproxMinReduce(int) ReduceLogic { return approx.NewMinReducer() }
+
+// ApproxMaxReduce builds the GEV-based maximum reducer (ApproxMaxReducer).
+func ApproxMaxReduce(int) ReduceLogic { return approx.NewMaxReducer() }
+
+// SumReduce is the plain (precise Hadoop) sum reducer.
+func SumReduce(int) ReduceLogic { return mapreduce.SumReduce() }
+
+// ---------------------------------------------------------------------------
+// Controllers
+// ---------------------------------------------------------------------------
+
+// Ratios returns a controller that applies user-specified
+// dropping/sampling ratios (Section 4.2, first mode): sampleRatio in
+// (0, 1] of the input items are processed and dropRatio of the map
+// tasks are dropped.
+func Ratios(sampleRatio, dropRatio float64) Controller {
+	return approx.NewStatic(sampleRatio, dropRatio)
+}
+
+// TargetError returns a controller that achieves a relative target
+// error bound at 95% confidence by choosing dropping/sampling ratios
+// online (Section 4.4). target is e.g. 0.01 for ±1%.
+func TargetError(target float64) Controller {
+	return &approx.TargetError{Target: target}
+}
+
+// TargetErrorPilot is TargetError with a pilot first wave: pilotTasks
+// maps run at pilotRatio sampling to bootstrap statistics cheaply
+// (for jobs whose maps complete in a single wave).
+func TargetErrorPilot(target, pilotRatio float64, pilotTasks int) Controller {
+	return &approx.TargetError{Target: target, Pilot: true, PilotRatio: pilotRatio, PilotTasks: pilotTasks}
+}
+
+// TargetErrorExtreme returns the extreme-value (min/max) target-error
+// controller: maps are killed/dropped the moment the GEV interval
+// meets the target (Section 4.5).
+func TargetErrorExtreme(target float64) Controller {
+	return &approx.TargetErrorGEV{Target: target}
+}
+
+// PerTaskMappers selects between precise and approximate map variants
+// per task (user-defined approximation); assign to Job.NewMapperFor.
+func PerTaskMappers(approxRatio float64, seed int64, precise, approximate func() Mapper) func(int) Mapper {
+	return approx.PerTaskMappers(approxRatio, seed, precise, approximate)
+}
+
+// ---------------------------------------------------------------------------
+// Output writers (the paper's ApproxOutput)
+// ---------------------------------------------------------------------------
+
+// WriteText renders a result as a human-readable report.
+func WriteText(w io.Writer, res *Result) error { return mapreduce.WriteText(w, res) }
+
+// WriteTSV writes "key value epsilon confidence" lines.
+func WriteTSV(w io.Writer, res *Result) error { return mapreduce.WriteTSV(w, res) }
+
+// WriteJSON serializes a result with interval bounds per key.
+func WriteJSON(w io.Writer, res *Result) error { return mapreduce.WriteJSON(w, res) }

@@ -1,0 +1,176 @@
+// Benchmarks: one per table and figure of the paper's evaluation, plus
+// the ablations from DESIGN.md. Each benchmark iteration regenerates
+// the corresponding artifact at reduced dataset scale on the simulated
+// cluster (the full-scale numbers are produced by cmd/approxbench and
+// recorded in EXPERIMENTS.md).
+//
+//	go test -bench=. -benchmem
+package approxhadoop_test
+
+import (
+	"io"
+	"testing"
+
+	"approxhadoop/internal/harness"
+)
+
+// benchRunner builds a reduced-scale harness for benchmark iterations.
+func benchRunner(scale float64) *harness.Runner {
+	cfg := harness.Default()
+	cfg.Scale = scale
+	cfg.Reps = 1
+	cfg.Out = io.Discard
+	return harness.New(cfg)
+}
+
+func BenchmarkTable1Applications(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner(0.02).Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2LogSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner(0.02).Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5Distributions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner(0.02).Fig5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6WikiLength(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner(0.02).Fig6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7ProjectPopularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner(0.02).Fig7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8DCPlacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner(0.02).Fig8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9aTargetError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner(0.02).Fig9a(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9bPilot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner(0.02).Fig9b(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9cDCPlacementTarget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner(0.02).Fig9c(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10WebLog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner(0.02).Fig10(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11WebLogSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner(0.02).Fig11(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12Energy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner(0.02).Fig12(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13Scaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner(0.02).Fig13([]int{7, 30}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUserDefined(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner(0.02).UserDefined(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKeySpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner(0.02).KeySpace(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTaskOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner(0.02).AblationTaskOrder(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBarrier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner(0.02).AblationBarrier(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationVarianceSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner(0.02).AblationVarianceSplit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationCostModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner(0.02).AblationCostModel(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Command approxbench regenerates the paper's evaluation: every table
+// and figure of Section 5 plus the ablation studies from DESIGN.md.
+//
+// Usage:
+//
+//	approxbench -experiment all            # everything (several minutes)
+//	approxbench -experiment fig6           # one artifact
+//	approxbench -experiment fig13 -scale 1 # the scaling series
+//
+// Experiments: table1 table2 fig5 fig6 fig7 fig8 fig9a fig9b fig9c
+// fig10 fig11 fig12 fig13 userdef keyspace ablations all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"approxhadoop/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (table1,...,fig13,userdef,ablations,all)")
+		scale      = flag.Float64("scale", 1, "dataset scale multiplier")
+		reps       = flag.Int("reps", 3, "repetitions per data point")
+		seed       = flag.Int64("seed", 42, "base random seed")
+		quick      = flag.Bool("quick", false, "shortcut for -scale 0.1 -reps 1")
+	)
+	flag.Parse()
+
+	cfg := harness.Default()
+	cfg.Scale = *scale
+	cfg.Reps = *reps
+	cfg.Seed = *seed
+	cfg.Out = os.Stdout
+	if *quick {
+		cfg.Scale = 0.1
+		cfg.Reps = 1
+	}
+	r := harness.New(cfg)
+
+	type exp struct {
+		name string
+		run  func() error
+	}
+	all := []exp{
+		{"table1", func() error { _, err := r.Table1(); return err }},
+		{"table2", func() error { _, err := r.Table2(); return err }},
+		{"fig5", func() error { _, err := r.Fig5(); return err }},
+		{"fig6", func() error { _, err := r.Fig6(); return err }},
+		{"fig7", func() error { _, err := r.Fig7(); return err }},
+		{"fig8", func() error { _, err := r.Fig8(); return err }},
+		{"fig9a", func() error { _, err := r.Fig9a(); return err }},
+		{"fig9b", func() error { _, err := r.Fig9b(); return err }},
+		{"fig9c", func() error { _, err := r.Fig9c(); return err }},
+		{"fig10", func() error { _, err := r.Fig10(); return err }},
+		{"fig11", func() error { _, err := r.Fig11(); return err }},
+		{"fig12", func() error { _, err := r.Fig12(); return err }},
+		{"fig13", func() error { _, err := r.Fig13(nil); return err }},
+		{"userdef", func() error { _, err := r.UserDefined(); return err }},
+		{"keyspace", func() error { _, err := r.KeySpace(); return err }},
+		{"ablations", func() error {
+			if _, err := r.AblationTaskOrder(); err != nil {
+				return err
+			}
+			if _, err := r.AblationBarrier(); err != nil {
+				return err
+			}
+			if _, err := r.AblationVarianceSplit(); err != nil {
+				return err
+			}
+			_, err := r.AblationCostModel()
+			return err
+		}},
+	}
+
+	want := strings.ToLower(*experiment)
+	ran := false
+	for _, e := range all {
+		if want != "all" && want != e.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "approxbench: %s failed: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n[%s completed in %.1fs wall time]\n", e.name, time.Since(start).Seconds())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "approxbench: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}

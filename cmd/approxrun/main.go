@@ -1,0 +1,162 @@
+// Command approxrun executes a single ApproxHadoop application with
+// either user-specified dropping/sampling ratios or a target error
+// bound, and prints the top output keys with their 95% confidence
+// intervals alongside runtime/energy.
+//
+// Usage:
+//
+//	approxrun -app projectpop -sample 0.1 -drop 0.25
+//	approxrun -app pagepop -target 0.01 -pilot
+//	approxrun -app dcplacement -target 0.05
+//	approxrun -app wikilength              # precise
+//
+// Apps: wikilength wikipagerank projectpop pagepop pagetraffic
+// wikirate webrate attacks totalsize requestsize clients browsers
+// dcplacement kmeans video
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"approxhadoop/internal/approx"
+	"approxhadoop/internal/apps"
+	"approxhadoop/internal/cluster"
+	"approxhadoop/internal/dfs"
+	"approxhadoop/internal/harness"
+	"approxhadoop/internal/mapreduce"
+	"approxhadoop/internal/workload"
+)
+
+func main() {
+	var (
+		app    = flag.String("app", "projectpop", "application to run")
+		sample = flag.Float64("sample", 1, "input data sampling ratio (0,1]")
+		drop   = flag.Float64("drop", 0, "map task dropping ratio [0,1)")
+		target = flag.Float64("target", 0, "target relative error bound (0 disables)")
+		pilot  = flag.Bool("pilot", false, "bootstrap the target-error controller with a pilot wave")
+		scale  = flag.Float64("scale", 1, "dataset scale multiplier")
+		seed   = flag.Int64("seed", 42, "random seed")
+		topN   = flag.Int("top", 15, "output keys to print")
+		format = flag.String("format", "text", "output format: text | tsv | json")
+	)
+	flag.Parse()
+
+	var ctl mapreduce.Controller
+	switch {
+	case *target > 0 && *app == "dcplacement":
+		ctl = &approx.TargetErrorGEV{Target: *target}
+	case *target > 0 && *pilot:
+		ctl = &approx.TargetError{Target: *target, Pilot: true, PilotRatio: 0.01}
+	case *target > 0:
+		ctl = &approx.TargetError{Target: *target}
+	case *sample < 1 || *drop > 0:
+		ctl = approx.NewStatic(*sample, *drop)
+	}
+
+	opts := apps.Options{Controller: ctl, Seed: *seed, Cost: harness.PaperCost()}
+	scaleN := func(n int) int {
+		v := int(float64(n) * *scale)
+		if v < 10 {
+			v = 10
+		}
+		return v
+	}
+	wiki := func() *dfs.File {
+		w := workload.DefaultWikiDump()
+		w.ArticlesPerBlock = scaleN(w.ArticlesPerBlock)
+		return w.File("wiki-dump")
+	}
+	wlog := func() *dfs.File {
+		a := workload.DefaultAccessLog()
+		a.LinesPerBlock = scaleN(a.LinesPerBlock)
+		return a.File("wiki-access-log")
+	}
+	web := func() *dfs.File {
+		w := workload.DefaultWebLog()
+		w.LinesPerBlock = scaleN(w.LinesPerBlock)
+		return w.File("webserver-log")
+	}
+
+	var job *mapreduce.Job
+	switch *app {
+	case "wikilength":
+		job = apps.WikiLength(wiki(), opts)
+	case "wikipagerank":
+		job = apps.WikiPageRank(wiki(), opts)
+	case "projectpop":
+		job = apps.ProjectPopularity(wlog(), opts)
+	case "pagepop":
+		job = apps.PagePopularity(wlog(), opts)
+	case "pagetraffic":
+		job = apps.PageTraffic(wlog(), opts)
+	case "wikirate":
+		job = apps.WikiRequestRate(wlog(), opts)
+	case "webrate":
+		job = apps.WebRequestRate(web(), opts)
+	case "attacks":
+		job = apps.AttackFrequencies(web(), opts)
+	case "totalsize":
+		job = apps.TotalSize(web(), opts)
+	case "requestsize":
+		job = apps.RequestSize(web(), opts)
+	case "clients":
+		job = apps.Clients(web(), opts)
+	case "browsers":
+		job = apps.ClientBrowser(web(), opts)
+	case "dcplacement":
+		seeds := workload.SearchSeeds("dc-seeds", 80, *seed)
+		job = apps.DCPlacement(seeds, apps.DCPlacementConfig{Iters: scaleN(1500)}, opts)
+	case "kmeans":
+		points := apps.KMeansData("points", 40, scaleN(1000), 4, *seed)
+		job = apps.KMeansIteration(points, apps.KMeansConfig{ApproxRatio: *drop}, opts)
+	case "video":
+		frames := apps.VideoData("movie", 40, scaleN(200), *seed)
+		job = apps.VideoEncoding(frames, apps.VideoEncodingConfig{ApproxRatio: *drop}, opts)
+	default:
+		fmt.Fprintf(os.Stderr, "approxrun: unknown app %q\n", *app)
+		os.Exit(2)
+	}
+
+	eng := cluster.New(cluster.DefaultConfig())
+	res, err := mapreduce.Run(eng, job)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "approxrun: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch *format {
+	case "tsv":
+		if err := mapreduce.WriteTSV(os.Stdout, res); err != nil {
+			fmt.Fprintf(os.Stderr, "approxrun: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "json":
+		if err := mapreduce.WriteJSON(os.Stdout, res); err != nil {
+			fmt.Fprintf(os.Stderr, "approxrun: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	outs := append([]mapreduce.KeyEstimate(nil), res.Outputs...)
+	sort.Slice(outs, func(i, j int) bool { return outs[i].Est.Value > outs[j].Est.Value })
+	if len(outs) > *topN {
+		outs = outs[:*topN]
+	}
+	fmt.Printf("%s: %d maps (%d completed, %d dropped, %d killed), %d waves\n",
+		res.Job, res.Counters.MapsTotal, res.Counters.MapsCompleted,
+		res.Counters.MapsDropped, res.Counters.MapsKilled, res.Counters.Waves)
+	fmt.Printf("items processed: %d / %d; simulated runtime %.1f s; energy %.1f Wh\n\n",
+		res.Counters.ItemsProcessed, res.Counters.ItemsTotal, res.Runtime, res.EnergyWh)
+	for _, o := range outs {
+		if o.Exact {
+			fmt.Printf("%-24s %14.1f (exact)\n", o.Key, o.Est.Value)
+		} else {
+			fmt.Printf("%-24s %14.1f ± %-12.1f (95%% conf)\n", o.Key, o.Est.Value, o.Est.Err)
+		}
+	}
+}

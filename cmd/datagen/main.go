@@ -1,0 +1,80 @@
+// Command datagen materializes the synthetic datasets to disk for
+// inspection (normally they stay virtual: generated blocks are
+// re-created deterministically whenever a map task reads them).
+//
+// Usage:
+//
+//	datagen -dataset weblog -blocks 4 -out /tmp/weblog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"approxhadoop/internal/apps"
+	"approxhadoop/internal/dfs"
+	"approxhadoop/internal/workload"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "accesslog", "wiki | accesslog | weblog | kmeans | video | seeds")
+		blocks  = flag.Int("blocks", 4, "number of blocks to write")
+		lines   = flag.Int("lines", 1000, "records per block")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		out     = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	var f *dfs.File
+	switch *dataset {
+	case "wiki":
+		f = workload.WikiDump{Blocks: *blocks, ArticlesPerBlock: *lines,
+			LinkUniverse: 20000, MeanLinks: 8, Seed: *seed}.File("wiki-dump")
+	case "accesslog":
+		f = workload.AccessLog{Blocks: *blocks, LinesPerBlock: *lines,
+			Projects: 400, Pages: 20000, Seed: *seed}.File("access-log")
+	case "weblog":
+		f = workload.WebLog{Blocks: *blocks, LinesPerBlock: *lines,
+			Clients: 3000, Attackers: 40, AttackRate: 0.02, Seed: *seed}.File("web-log")
+	case "kmeans":
+		f = apps.KMeansData("points", *blocks, *lines, 4, *seed)
+	case "video":
+		f = apps.VideoData("movie", *blocks, *lines, *seed)
+	case "seeds":
+		f = workload.SearchSeeds("seeds", *blocks, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+	var total int64
+	for _, b := range f.Blocks {
+		path := filepath.Join(*out, fmt.Sprintf("%s.block%04d.txt", f.Name, b.Index))
+		w, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+			os.Exit(1)
+		}
+		rc := b.Open()
+		n, err := io.Copy(w, rc)
+		rc.Close()
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "datagen: writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		total += n
+	}
+	fmt.Printf("datagen: wrote %d blocks (%.1f KB) of %s to %s\n",
+		len(f.Blocks), float64(total)/1024, *dataset, *out)
+}

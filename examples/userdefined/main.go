@@ -1,0 +1,66 @@
+// User-defined approximation (the paper's third mechanism, studied in
+// the technical report): the user supplies a precise and an
+// approximate version of the map code, and a fraction of tasks runs
+// the cheap variant. ApproxHadoop cannot bound such errors — quality
+// is measured by the application's own metric (here: mean frame
+// quality of a synthetic video encoder, and centroid drift for a
+// K-Means iteration).
+//
+//	go run ./examples/userdefined
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"approxhadoop/internal/apps"
+	"approxhadoop/internal/cluster"
+	"approxhadoop/internal/mapreduce"
+)
+
+func main() {
+	runVideo()
+	runKMeans()
+}
+
+func runVideo() {
+	frames := apps.VideoData("movie", 40, 400, 3)
+	fmt.Println("VideoEncoding: precise = 6 motion-search passes, approximate = 2")
+	fmt.Printf("%-14s %14s %14s\n", "approx tasks", "mean quality", "real compute(s)")
+	for _, ratio := range []float64{0, 0.25, 0.5, 1} {
+		eng := cluster.New(cluster.DefaultConfig())
+		res, err := mapreduce.Run(eng, apps.VideoEncoding(frames,
+			apps.VideoEncodingConfig{ApproxRatio: ratio}, apps.Options{Seed: 1}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		q, _ := res.Output("quality")
+		f, _ := res.Output("frames")
+		fmt.Printf("%13.0f%% %14.2f %14.3f\n", ratio*100, q.Est.Value/f.Est.Value, res.RealSecs)
+	}
+	fmt.Println()
+}
+
+func runKMeans() {
+	points := apps.KMeansData("points", 40, 2000, 4, 5)
+	base := apps.KMeansConfig{Centroids: [][2]float64{{2, 2}, {12, 2}, {2, 12}, {12, 12}}}
+
+	iterate := func(ratio float64) ([][2]float64, *mapreduce.Result) {
+		cfg := base
+		cfg.ApproxRatio = ratio
+		eng := cluster.New(cluster.DefaultConfig())
+		res, err := mapreduce.Run(eng, apps.KMeansIteration(points, cfg, apps.Options{Seed: 1}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return apps.CentroidsFromResult(res, 4), res
+	}
+
+	precise, _ := iterate(0)
+	fmt.Println("KMeans: approximate mapper subsamples its points 10:1 (rescaled)")
+	fmt.Printf("%-14s %18s %16s\n", "approx tasks", "centroid shift", "real compute(s)")
+	for _, ratio := range []float64{0.25, 0.5, 1} {
+		cent, res := iterate(ratio)
+		fmt.Printf("%13.0f%% %18.4f %16.3f\n", ratio*100, apps.CentroidShift(precise, cent), res.RealSecs)
+	}
+}

@@ -1,0 +1,3 @@
+module approxhadoop
+
+go 1.22

@@ -1,0 +1,61 @@
+package approx
+
+import (
+	"math"
+	"testing"
+
+	"approxhadoop/internal/mapreduce"
+)
+
+// TestAbsoluteTargetBound drives the controller with an absolute
+// half-width bound instead of a relative one.
+func TestAbsoluteTargetBound(t *testing.T) {
+	input, want := countInput(40, 400, 21)
+	// Pick an absolute bound around 1% of the largest key's total.
+	biggest := 0.0
+	for _, v := range want {
+		if v > biggest {
+			biggest = v
+		}
+	}
+	absTarget := biggest * 0.02
+	job := sumJob(input, &TargetError{Absolute: absTarget})
+	res, err := mapreduce.Run(approxEngine(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worstAbs := 0.0
+	for _, o := range res.Outputs {
+		if !math.IsInf(o.Est.Err, 1) && o.Est.Err > worstAbs {
+			worstAbs = o.Est.Err
+		}
+	}
+	if worstAbs > absTarget {
+		t.Errorf("absolute bound %v exceeds target %v", worstAbs, absTarget)
+	}
+	if res.Counters.MapsCompleted >= res.Counters.MapsTotal {
+		t.Errorf("a loose absolute target should allow approximation: %+v", res.Counters)
+	}
+}
+
+// TestGEVAbsoluteTarget drives the extreme-value controller with an
+// absolute bound.
+func TestGEVAbsoluteTarget(t *testing.T) {
+	ctl := &TargetErrorGEV{Absolute: 5, MinMaps: 3}
+	if ctl.meets(4, 100) != true {
+		t.Error("4 <= 5 should meet")
+	}
+	if ctl.meets(6, 100) != false {
+		t.Error("6 > 5 should not meet")
+	}
+	if ctl.meets(math.Inf(1), 100) {
+		t.Error("infinite bound never meets")
+	}
+	both := &TargetErrorGEV{Target: 0.01, Absolute: 5}
+	if both.meets(4, 100) {
+		t.Error("4 above 1 percent of 100 should fail the relative part")
+	}
+	if !both.meets(0.5, 100) {
+		t.Error("0.5 meets both bounds")
+	}
+}

@@ -1,0 +1,103 @@
+package approx
+
+import (
+	"math"
+	"testing"
+
+	"approxhadoop/internal/mapreduce"
+	"approxhadoop/internal/stats"
+)
+
+func TestMaxReducerEndToEnd(t *testing.T) {
+	r := NewMaxReducer()
+	if r.Min || !r.AlreadyExtrema {
+		t.Fatalf("max reducer config: %+v", r)
+	}
+	rng := stats.NewRand(7)
+	view := mapreduce.EstimateView{TotalMaps: 60, Consumed: 30, Dropped: 30, Confidence: 0.95}
+	obs := math.Inf(-1)
+	for task := 0; task < 30; task++ {
+		v := 100 + rng.NormFloat64()*10
+		if v > obs {
+			obs = v
+		}
+		r.Consume(&mapreduce.MapOutput{TaskID: task, Items: 1, Sampled: 1,
+			Pairs: []mapreduce.KV{{Key: "max", Value: v}}})
+	}
+	out := r.Finalize(view)
+	if len(out) != 1 || out[0].Est.Value != obs {
+		t.Fatalf("max output: %+v (obs %v)", out, obs)
+	}
+	if out[0].Est.Err <= 0 || math.IsInf(out[0].Est.Err, 1) {
+		t.Errorf("max bound: %v", out[0].Est.Err)
+	}
+	if got, ok := r.Observed("max"); !ok || got != obs {
+		t.Errorf("Observed = %v %v", got, ok)
+	}
+	// Custom tail percentile path.
+	r.TailP = 0.05
+	if r.tailP() != 0.05 {
+		t.Error("tailP override ignored")
+	}
+	r.TailP = 7 // invalid -> default
+	if r.tailP() != 0.01 {
+		t.Error("invalid tailP should default")
+	}
+}
+
+func TestSampledUnitsAccumulates(t *testing.T) {
+	r := NewMultiStageReducer(OpSum)
+	r.Consume(&mapreduce.MapOutput{TaskID: 0, Items: 100, Sampled: 40})
+	r.Consume(&mapreduce.MapOutput{TaskID: 1, Items: 100, Sampled: 25})
+	if got := r.SampledUnits(); got != 65 {
+		t.Errorf("SampledUnits = %d, want 65", got)
+	}
+}
+
+func TestTargetErrorGEVPlanAfterStop(t *testing.T) {
+	ctl := &TargetErrorGEV{Target: 0.5}
+	ctl.stopped = true
+	if _, action := ctl.Plan(&mapreduce.JobView{}); action != mapreduce.PlanDrop {
+		t.Error("stopped controller should drop everything")
+	}
+	if d := ctl.Completed(&mapreduce.JobView{}); d.DropPending || d.KillRunning {
+		t.Error("stopped controller should be quiescent")
+	}
+}
+
+func TestTargetErrorGEVNoEstimates(t *testing.T) {
+	ctl := &TargetErrorGEV{Target: 0.5, MinMaps: 1}
+	v := &mapreduce.JobView{Completed: 5, Estimates: func() []mapreduce.KeyEstimate { return nil }}
+	if d := ctl.Completed(v); d.DropPending {
+		t.Error("no estimates: must not stop")
+	}
+	// Unmet estimate: keep running.
+	v.Estimates = func() []mapreduce.KeyEstimate {
+		return []mapreduce.KeyEstimate{{Key: "m", Est: stats.Estimate{Value: 10, Err: 9}}}
+	}
+	if d := ctl.Completed(v); d.DropPending {
+		t.Error("wide bound: must not stop")
+	}
+}
+
+func TestTargetErrorRealizedMetStrict(t *testing.T) {
+	ctl := &TargetError{Target: 0.1, Strict: true}
+	mk := func(ests []mapreduce.KeyEstimate) *mapreduce.JobView {
+		return &mapreduce.JobView{Estimates: func() []mapreduce.KeyEstimate { return ests }}
+	}
+	ok := []mapreduce.KeyEstimate{
+		{Key: "a", Est: stats.Estimate{Value: 100, Err: 5}},
+		{Key: "b", Est: stats.Estimate{Value: 10, Err: 0.5}},
+	}
+	if !ctl.realizedMet(mk(ok)) {
+		t.Error("all keys within 10% should meet strictly")
+	}
+	bad := append(ok, mapreduce.KeyEstimate{Key: "c", Est: stats.Estimate{Value: 1, Err: 0.5}})
+	if ctl.realizedMet(mk(bad)) {
+		t.Error("a 50% key should fail strict mode")
+	}
+	// Nil estimates treated as met (barrier mode).
+	if !ctl.realizedMet(&mapreduce.JobView{}) {
+		t.Error("nil estimates should be treated as met")
+	}
+}

@@ -1,0 +1,173 @@
+package approx
+
+import (
+	"math"
+	"sort"
+
+	"approxhadoop/internal/mapreduce"
+	"approxhadoop/internal/stats"
+)
+
+// ExtremeValueReducer is the paper's ApproxMinReducer/ApproxMaxReducer
+// (Section 3.2): it keeps the raw values produced for each key and, at
+// estimate time, fits a Generalized Extreme Value distribution to them
+// to bound how far the true extreme may lie beyond the observed one.
+//
+// In the common pattern each map task already outputs the min/max of
+// its own search (so the values form a sample of block extrema and
+// AlreadyExtrema should stay true); for raw value streams set
+// AlreadyExtrema to false and the reducer applies the Block
+// Minima/Maxima transform first.
+//
+// The reported estimate is the extreme observed so far; its interval
+// half-width covers the GEV tail estimate: for a minimum,
+// [gevLow, observed], where gevLow is the lower confidence bound of
+// the GEV quantile at TailP. Combiner output is unsupported — the fit
+// needs raw values — and is reported as an unbounded estimate.
+type ExtremeValueReducer struct {
+	Min            bool    // estimate a minimum (false: maximum)
+	TailP          float64 // tail percentile for the GEV quantile (default 0.01)
+	MinSample      int     // minimum extrema before fitting (default 8)
+	AlreadyExtrema bool    // values are already per-task extrema
+	Blocks         int     // block count for the transform (default sqrt(n))
+
+	values        map[string][]float64
+	consumed      int
+	sampled       bool
+	misconfigured bool // combiner output seen
+}
+
+// NewMinReducer builds an ExtremeValueReducer for minima over per-task
+// extrema (the DC-placement pattern).
+func NewMinReducer() *ExtremeValueReducer {
+	return &ExtremeValueReducer{Min: true, AlreadyExtrema: true}
+}
+
+// NewMaxReducer builds an ExtremeValueReducer for maxima over per-task
+// extrema.
+func NewMaxReducer() *ExtremeValueReducer {
+	return &ExtremeValueReducer{Min: false, AlreadyExtrema: true}
+}
+
+func (r *ExtremeValueReducer) tailP() float64 {
+	if r.TailP <= 0 || r.TailP >= 1 {
+		return 0.01
+	}
+	return r.TailP
+}
+
+func (r *ExtremeValueReducer) minSample() int {
+	if r.MinSample <= 0 {
+		return 8
+	}
+	return r.MinSample
+}
+
+// Consume implements mapreduce.ReduceLogic.
+func (r *ExtremeValueReducer) Consume(out *mapreduce.MapOutput) {
+	if r.values == nil {
+		r.values = make(map[string][]float64)
+	}
+	r.consumed++
+	if out.Sampled < out.Items {
+		r.sampled = true
+	}
+	if out.Combined != nil {
+		r.misconfigured = true
+		return
+	}
+	for _, kv := range out.Pairs {
+		r.values[kv.Key] = append(r.values[kv.Key], kv.Value)
+	}
+}
+
+// Observed returns the raw extreme seen so far for a key.
+func (r *ExtremeValueReducer) Observed(key string) (float64, bool) {
+	vals := r.values[key]
+	if len(vals) == 0 {
+		return 0, false
+	}
+	lo, hi := stats.MinMax(vals)
+	if r.Min {
+		return lo, true
+	}
+	return hi, true
+}
+
+func (r *ExtremeValueReducer) estimate(vals []float64, view mapreduce.EstimateView) (stats.Estimate, bool) {
+	obs := vals[0]
+	for _, v := range vals[1:] {
+		if r.Min && v < obs || !r.Min && v > obs {
+			obs = v
+		}
+	}
+	est := stats.Estimate{Value: obs, Conf: view.Confidence, DF: float64(len(vals) - 1)}
+	exact := !r.sampled && view.Dropped == 0 && r.consumed == view.TotalMaps && !r.misconfigured
+	if exact {
+		return est, true
+	}
+	if r.misconfigured {
+		est.Err = math.NaN()
+		est.StdErr = math.NaN()
+		return est, false
+	}
+	sample := vals
+	if !r.AlreadyExtrema {
+		blocks := r.Blocks
+		if blocks <= 0 {
+			blocks = int(math.Sqrt(float64(len(vals))))
+		}
+		sample = stats.BlockExtrema(vals, blocks, r.Min)
+	}
+	if len(sample) < r.minSample() {
+		est.Err = math.Inf(1)
+		est.StdErr = math.Inf(1)
+		return est, false
+	}
+	var fit stats.GEVFit
+	var err error
+	if r.Min {
+		fit, err = stats.FitGEVMinima(sample)
+	} else {
+		fit, err = stats.FitGEVMaxima(sample)
+	}
+	if err != nil {
+		est.Err = math.Inf(1)
+		est.StdErr = math.Inf(1)
+		return est, false
+	}
+	tail := fit.ExtremeEstimate(r.tailP(), view.Confidence)
+	// The true extreme can only be at or beyond the observed one; the
+	// GEV tail bound says how far beyond is plausible.
+	var half float64
+	if r.Min {
+		half = obs - (tail.Value - tail.Err)
+	} else {
+		half = (tail.Value + tail.Err) - obs
+	}
+	if half < 0 || math.IsNaN(half) {
+		half = 0
+	}
+	est.Err = half
+	est.StdErr = tail.StdErr
+	return est, false
+}
+
+// Estimates implements mapreduce.ReduceLogic.
+func (r *ExtremeValueReducer) Estimates(view mapreduce.EstimateView) []mapreduce.KeyEstimate {
+	return r.Finalize(view)
+}
+
+// Finalize implements mapreduce.ReduceLogic.
+func (r *ExtremeValueReducer) Finalize(view mapreduce.EstimateView) []mapreduce.KeyEstimate {
+	out := make([]mapreduce.KeyEstimate, 0, len(r.values))
+	for key, vals := range r.values {
+		if len(vals) == 0 {
+			continue
+		}
+		est, exact := r.estimate(vals, view)
+		out = append(out, mapreduce.KeyEstimate{Key: key, Est: est, Exact: exact})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

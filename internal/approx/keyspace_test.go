@@ -1,0 +1,201 @@
+package approx
+
+import (
+	"math"
+	"testing"
+
+	"approxhadoop/internal/mapreduce"
+	"approxhadoop/internal/stats"
+)
+
+// feedClusters pushes n clusters of synthetic per-key stats into r.
+func feedClusters(r *MultiStageReducer, n int, items, sampled int64, keysPerCluster func(task int) map[string]stats.RunningStat) {
+	for task := 0; task < n; task++ {
+		r.Consume(&mapreduce.MapOutput{
+			TaskID:   task,
+			Items:    items,
+			Sampled:  sampled,
+			Combined: keysPerCluster(task),
+		})
+	}
+}
+
+func TestMissingKeyBound(t *testing.T) {
+	r := NewMultiStageReducer(OpSum)
+	view := mapreduce.EstimateView{TotalMaps: 20, Consumed: 10, Confidence: 0.95}
+	feedClusters(r, 10, 1000, 100, func(task int) map[string]stats.RunningStat {
+		rs := stats.RunningStat{}
+		for i := 0; i < 50; i++ {
+			rs.Add(1)
+		}
+		return map[string]stats.RunningStat{"common": rs}
+	})
+	bound := r.MissingKeyBound(view)
+	if bound.Value != 0 {
+		t.Errorf("missing key value = %v, want 0", bound.Value)
+	}
+	if bound.Err <= 0 || math.IsInf(bound.Err, 1) {
+		t.Fatalf("missing key bound = %v", bound.Err)
+	}
+	// The bound must be far smaller than the bounds on observed keys
+	// (the paper: ±197 vs ±33,408 for WikiLength).
+	common := r.Finalize(view)[0]
+	if bound.Err >= common.Est.Value {
+		t.Errorf("missing-key bound %v should be far below the common key's value %v",
+			bound.Err, common.Est.Value)
+	}
+	// More sampled units tighten the bound.
+	r2 := NewMultiStageReducer(OpSum)
+	feedClusters(r2, 10, 1000, 1000, func(int) map[string]stats.RunningStat {
+		return map[string]stats.RunningStat{}
+	})
+	b2 := r2.MissingKeyBound(view)
+	if b2.Err >= bound.Err {
+		t.Errorf("10x sampling should tighten missing-key bound: %v >= %v", b2.Err, bound.Err)
+	}
+}
+
+func TestMissingKeyBoundNoSamples(t *testing.T) {
+	r := NewMultiStageReducer(OpSum)
+	b := r.MissingKeyBound(mapreduce.EstimateView{TotalMaps: 5, Confidence: 0.95})
+	if !math.IsInf(b.Err, 1) {
+		t.Errorf("no samples should give an infinite bound, got %v", b.Err)
+	}
+}
+
+func TestFinalizeWithKnownKeys(t *testing.T) {
+	r := NewMultiStageReducer(OpSum)
+	view := mapreduce.EstimateView{TotalMaps: 10, Consumed: 5, Confidence: 0.95}
+	feedClusters(r, 5, 100, 50, func(int) map[string]stats.RunningStat {
+		rs := stats.RunningStat{}
+		rs.Add(3)
+		rs.Add(4)
+		return map[string]stats.RunningStat{"seen": rs}
+	})
+	out := r.FinalizeWithKnownKeys(view, []string{"seen", "never-a", "never-b"})
+	if len(out) != 3 {
+		t.Fatalf("outputs = %d, want 3", len(out))
+	}
+	found := map[string]mapreduce.KeyEstimate{}
+	for _, o := range out {
+		found[o.Key] = o
+	}
+	if found["never-a"].Est.Value != 0 || found["never-a"].Est.Err <= 0 {
+		t.Errorf("missing key estimate: %+v", found["never-a"].Est)
+	}
+	if found["seen"].Est.Value <= 0 {
+		t.Errorf("seen key estimate: %+v", found["seen"].Est)
+	}
+	// Without known keys it's plain Finalize.
+	if got := r.FinalizeWithKnownKeys(view, nil); len(got) != 1 {
+		t.Errorf("nil known keys should be plain finalize: %d", len(got))
+	}
+}
+
+func TestDistinctKeysChao(t *testing.T) {
+	// Population with 200 distinct keys, Zipf-ish unit frequencies;
+	// sample a fraction of units and check the Chao estimate recovers
+	// the order of magnitude and brackets the truth.
+	rng := stats.NewRand(9)
+	trueKeys := 200
+	r := NewMultiStageReducer(OpSum)
+	view := mapreduce.EstimateView{TotalMaps: 50, Consumed: 10, Dropped: 40, Confidence: 0.95}
+	zipf := stats.NewZipf(rng, 1.3, uint64(trueKeys))
+	for task := 0; task < 10; task++ {
+		combined := map[string]stats.RunningStat{}
+		for i := 0; i < 120; i++ {
+			k := zipf.Next()
+			key := "k" + string(rune('A'+k%26)) + string(rune('a'+(k/26)%26)) + string(rune('0'+(k/676)%10))
+			rs := combined[key]
+			rs.Add(1)
+			combined[key] = rs
+		}
+		r.Consume(&mapreduce.MapOutput{TaskID: task, Items: 500, Sampled: 120, Combined: combined})
+	}
+	est := r.DistinctKeys(view)
+	observed := float64(len(r.keys))
+	if est.Value < observed {
+		t.Errorf("Chao estimate %v cannot be below observed %v", est.Value, observed)
+	}
+	if est.Value > 3*float64(trueKeys) {
+		t.Errorf("Chao estimate %v way above plausible key space %d", est.Value, trueKeys)
+	}
+}
+
+func TestDistinctKeysExact(t *testing.T) {
+	r := NewMultiStageReducer(OpSum)
+	view := mapreduce.EstimateView{TotalMaps: 2, Consumed: 2, Confidence: 0.95}
+	feedClusters(r, 2, 10, 10, func(int) map[string]stats.RunningStat {
+		rs := stats.RunningStat{}
+		rs.Add(1)
+		return map[string]stats.RunningStat{"a": rs, "b": rs}
+	})
+	est := r.DistinctKeys(view)
+	if est.Value != 2 || est.Err != 0 {
+		t.Errorf("exhaustive distinct count = %+v, want exactly 2", est)
+	}
+}
+
+func TestDistinctKeysSaturated(t *testing.T) {
+	// All keys seen many times: no singletons -> no extrapolation.
+	r := NewMultiStageReducer(OpSum)
+	view := mapreduce.EstimateView{TotalMaps: 10, Consumed: 2, Dropped: 8, Confidence: 0.95}
+	feedClusters(r, 2, 100, 50, func(int) map[string]stats.RunningStat {
+		rs := stats.RunningStat{}
+		for i := 0; i < 25; i++ {
+			rs.Add(1)
+		}
+		return map[string]stats.RunningStat{"x": rs, "y": rs}
+	})
+	est := r.DistinctKeys(view)
+	if est.Value != 2 || est.Err != 0 {
+		t.Errorf("saturated distinct count = %+v", est)
+	}
+}
+
+func TestThreeStageReducerMeanOverPairs(t *testing.T) {
+	// Cluster A units produce 3 pairs each of value 2; cluster B units
+	// produce 1 pair each of value 8. Mean over pairs = (3*2+1*8)/4 = 3.5
+	// per unit-pair mix; with equal unit counts the pair-weighted mean
+	// is (6+8)/(3+1) = 3.5.
+	r := NewThreeStageReducer()
+	view := mapreduce.EstimateView{TotalMaps: 2, Consumed: 2, Confidence: 0.95}
+	a := stats.RunningStat{}
+	for i := 0; i < 30; i++ { // 10 units x 3 pairs of value 2
+		a.Add(2)
+	}
+	b := stats.RunningStat{}
+	for i := 0; i < 10; i++ { // 10 units x 1 pair of value 8
+		b.Add(8)
+	}
+	r.Consume(&mapreduce.MapOutput{TaskID: 0, Items: 10, Sampled: 10,
+		Combined: map[string]stats.RunningStat{"m": a}})
+	r.Consume(&mapreduce.MapOutput{TaskID: 1, Items: 10, Sampled: 10,
+		Combined: map[string]stats.RunningStat{"m": b}})
+	out := r.Finalize(view)
+	if len(out) != 1 {
+		t.Fatalf("outputs = %d", len(out))
+	}
+	if got := out[0].Est.Value; math.Abs(got-3.5) > 1e-9 {
+		t.Errorf("pair mean = %v, want 3.5 (pair-weighted, not unit-weighted)", got)
+	}
+	if !out[0].Exact {
+		t.Error("full consumption should be exact")
+	}
+}
+
+func TestThreeStageReducerRawPairsAndEstimates(t *testing.T) {
+	r := NewThreeStageReducer()
+	view := mapreduce.EstimateView{TotalMaps: 4, Consumed: 2, Dropped: 0, Confidence: 0.95}
+	r.Consume(&mapreduce.MapOutput{TaskID: 0, Items: 5, Sampled: 3,
+		Pairs: []mapreduce.KV{{Key: "m", Value: 1}, {Key: "m", Value: 3}}})
+	r.Consume(&mapreduce.MapOutput{TaskID: 1, Items: 5, Sampled: 3,
+		Pairs: []mapreduce.KV{{Key: "m", Value: 2}}})
+	out := r.Estimates(view)
+	if len(out) != 1 || out[0].Exact {
+		t.Fatalf("estimates = %+v", out)
+	}
+	if got := out[0].Est.Value; math.Abs(got-2) > 1e-9 {
+		t.Errorf("pair mean = %v, want 2", got)
+	}
+}

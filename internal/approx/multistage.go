@@ -1,0 +1,284 @@
+package approx
+
+import (
+	"math"
+	"sort"
+
+	"approxhadoop/internal/mapreduce"
+	"approxhadoop/internal/stats"
+)
+
+// AggOp selects the aggregation a MultiStageReducer performs.
+type AggOp int
+
+// Supported aggregation operations (Section 3.1: sum, count, average;
+// ratios combine two sum estimates, see stats.TwoStageRatio and
+// RatioOfEstimates).
+const (
+	OpSum AggOp = iota
+	OpCount
+	OpMean
+)
+
+func (op AggOp) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpCount:
+		return "count"
+	default:
+		return "mean"
+	}
+}
+
+// keyAgg holds the incremental per-key aggregates of the two-stage
+// estimators. Clusters where the key never appeared contribute
+// tau_i = 0 and s_i^2 = 0, i.e. nothing — so only appearing clusters
+// touch the accumulators and memory stays O(keys) regardless of how
+// many map tasks the job has. This matters for jobs like the
+// year-of-logs Page Popularity run with thousands of clusters.
+type keyAgg struct {
+	appear  int64   // clusters in which the key appeared
+	units   int64   // sampled units that produced a value for the key
+	sumTau  float64 // sum of cluster total estimates tau_i = M_i * ybar_i
+	sumTau2 float64 // sum of tau_i^2 (for s_u^2)
+	sumTauM float64 // sum of tau_i * M_i (for the mean/ratio residuals)
+	within  float64 // sum of M_i (M_i - m_i) s_i^2 / m_i
+	sumS2   float64 // sum of s_i^2 (for the controller's average)
+}
+
+// MultiStageReducer is the paper's MultiStageSamplingReducer: it
+// aggregates intermediate values per key and, at estimate time,
+// evaluates the two-stage sampling estimators of Section 3.1 with each
+// map task as a cluster and each input data item as a unit; units that
+// emitted nothing for a key count as implicit zeros.
+//
+// It accepts both raw pairs and combiner-compacted outputs; combining
+// is lossless for these estimators because they only need per-(task,
+// key) count/sum/sum-of-squares.
+type MultiStageReducer struct {
+	Op AggOp
+
+	n            int     // consumed clusters
+	sumM         float64 // sum of M_i over consumed clusters
+	sumM2        float64 // sum of M_i^2
+	sampledUnits int64   // sum of m_i over consumed clusters
+	keys         map[string]*keyAgg
+	sampled      bool // any cluster with m_i < M_i seen
+}
+
+// NewMultiStageReducer builds a reducer for the given aggregation.
+func NewMultiStageReducer(op AggOp) *MultiStageReducer {
+	return &MultiStageReducer{Op: op, keys: make(map[string]*keyAgg)}
+}
+
+// Consume implements mapreduce.ReduceLogic.
+func (r *MultiStageReducer) Consume(out *mapreduce.MapOutput) {
+	r.n++
+	M := float64(out.Items)
+	m := out.Sampled
+	r.sumM += M
+	r.sumM2 += M * M
+	r.sampledUnits += m
+	if out.Sampled < out.Items {
+		r.sampled = true
+	}
+	consumeOne := func(key string, rs stats.RunningStat) {
+		agg := r.keys[key]
+		if agg == nil {
+			agg = &keyAgg{}
+			r.keys[key] = agg
+		}
+		if m <= 0 {
+			return
+		}
+		tau := M * rs.MeanOverN(m)
+		s2 := rs.VarianceOverN(m)
+		agg.appear++
+		agg.units += rs.Count
+		agg.sumTau += tau
+		agg.sumTau2 += tau * tau
+		agg.sumTauM += tau * M
+		agg.sumS2 += s2
+		if m >= 2 && float64(m) < M {
+			agg.within += M * (M - float64(m)) * s2 / float64(m)
+		}
+	}
+	if out.Combined != nil {
+		for k, rs := range out.Combined {
+			consumeOne(k, rs)
+		}
+		return
+	}
+	tmp := make(map[string]stats.RunningStat)
+	for _, kv := range out.Pairs {
+		rs := tmp[kv.Key]
+		rs.Add(kv.Value)
+		tmp[kv.Key] = rs
+	}
+	for k, rs := range tmp {
+		consumeOne(k, rs)
+	}
+}
+
+// exact reports whether the consumed data covers the entire input.
+func (r *MultiStageReducer) exact(view mapreduce.EstimateView) bool {
+	return !r.sampled && view.Dropped == 0 && r.n == view.TotalMaps
+}
+
+// su2 returns s_u^2, the variance of the cluster total estimates
+// across all n consumed clusters (implicit zero clusters included via
+// n and the zero contributions to the sums).
+func (r *MultiStageReducer) su2(agg *keyAgg) float64 {
+	if r.n < 2 {
+		return 0
+	}
+	n := float64(r.n)
+	mean := agg.sumTau / n
+	v := (agg.sumTau2 - n*mean*mean) / (n - 1)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func (r *MultiStageReducer) estimate(agg *keyAgg, view mapreduce.EstimateView) stats.Estimate {
+	N := float64(view.TotalMaps)
+	n := float64(r.n)
+	est := stats.Estimate{Conf: view.Confidence, DF: n - 1}
+	if r.n == 0 {
+		est.Err = math.Inf(1)
+		est.StdErr = math.Inf(1)
+		return est
+	}
+	switch r.Op {
+	case OpMean:
+		if r.sumM == 0 {
+			est.Err = math.Inf(1)
+			est.StdErr = math.Inf(1)
+			return est
+		}
+		b := agg.sumTau / r.sumM
+		est.Value = b
+		if r.exact(view) {
+			return est
+		}
+		if r.n < 2 {
+			est.Err = math.Inf(1)
+			est.StdErr = math.Inf(1)
+			return est
+		}
+		// Residuals d_i = tau_i - b*M_i have mean exactly zero, so
+		// s_d^2 = sum(d_i^2) / (n-1) with
+		// sum(d_i^2) = sumTau2 - 2b*sumTauM + b^2*sumM2.
+		sd2 := (agg.sumTau2 - 2*b*agg.sumTauM + b*b*r.sumM2) / (n - 1)
+		if sd2 < 0 {
+			sd2 = 0
+		}
+		varTot := N*(N-n)*sd2/n + N/n*agg.within
+		if varTot < 0 {
+			varTot = 0
+		}
+		tx := N / n * r.sumM
+		est.StdErr = math.Sqrt(varTot) / tx
+		est.Err = stats.TwoSidedT(view.Confidence, n-1) * est.StdErr
+		return est
+	default: // OpSum, OpCount
+		est.Value = N / n * agg.sumTau
+		if r.exact(view) {
+			return est
+		}
+		if r.n < 2 {
+			est.Err = math.Inf(1)
+			est.StdErr = math.Inf(1)
+			return est
+		}
+		between := N * (N - n) * r.su2(agg) / n
+		if between < 0 {
+			between = 0
+		}
+		variance := between + N/n*agg.within
+		est.StdErr = math.Sqrt(variance)
+		est.Err = stats.TwoSidedT(view.Confidence, n-1) * est.StdErr
+		return est
+	}
+}
+
+// Estimates implements mapreduce.ReduceLogic.
+func (r *MultiStageReducer) Estimates(view mapreduce.EstimateView) []mapreduce.KeyEstimate {
+	return r.Finalize(view)
+}
+
+// Finalize implements mapreduce.ReduceLogic.
+func (r *MultiStageReducer) Finalize(view mapreduce.EstimateView) []mapreduce.KeyEstimate {
+	exact := r.exact(view)
+	out := make([]mapreduce.KeyEstimate, 0, len(r.keys))
+	for key, agg := range r.keys {
+		est := r.estimate(agg, view)
+		out = append(out, mapreduce.KeyEstimate{Key: key, Est: est, Exact: exact})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// PlanComponent exposes, per key, the variance pieces the target-error
+// controller needs to predict the effect of running n2 more tasks at
+// sampling ratio m/M (Equations 6 and 7).
+type PlanComponent struct {
+	Key        string
+	Tau        float64 // current point estimate of the total
+	SU2        float64 // s_u^2: variance of per-cluster total estimates
+	WithinDone float64 // sum over consumed clusters of M(M-m)s^2/m
+	AvgWithin  float64 // mean within-cluster variance s_i^2
+}
+
+// PlanComponents returns planning statistics for every key seen so
+// far. It requires at least two consumed clusters; otherwise nil.
+func (r *MultiStageReducer) PlanComponents(view mapreduce.EstimateView) []PlanComponent {
+	if r.n < 2 {
+		return nil
+	}
+	N := float64(view.TotalMaps)
+	n := float64(r.n)
+	out := make([]PlanComponent, 0, len(r.keys))
+	for key, agg := range r.keys {
+		out = append(out, PlanComponent{
+			Key:        key,
+			Tau:        N / n * agg.sumTau,
+			SU2:        r.su2(agg),
+			WithinDone: agg.within,
+			AvgWithin:  agg.sumS2 / n,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// PredictError evaluates the paper's Equations 4, 6 and 7: the
+// predicted confidence-interval half width for a key if, on top of the
+// n1 consumed clusters, n2 more clusters of Mbar units are executed
+// with m of their units sampled each.
+func PredictError(pc PlanComponent, totalMaps, n1, n2 int, mbar, m float64, confidence float64) float64 {
+	n := n1 + n2
+	if n < 2 {
+		return math.Inf(1)
+	}
+	if m <= 0 {
+		m = 1
+	}
+	if m > mbar {
+		m = mbar
+	}
+	N := float64(totalMaps)
+	fn := float64(n)
+	between := N * (N - fn) * pc.SU2 / fn
+	if between < 0 {
+		between = 0
+	}
+	cvar := pc.WithinDone + float64(n2)*mbar*(mbar-m)*pc.AvgWithin/m
+	variance := between + N/fn*cvar
+	if variance < 0 {
+		variance = 0
+	}
+	return stats.TwoSidedT(confidence, fn-1) * math.Sqrt(variance)
+}

@@ -1,0 +1,168 @@
+package approx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"approxhadoop/internal/mapreduce"
+	"approxhadoop/internal/stats"
+)
+
+// genOutputs builds a deterministic set of map outputs from a seed.
+func genOutputs(seed int64, clusters int) []*mapreduce.MapOutput {
+	rng := stats.NewRand(seed)
+	outs := make([]*mapreduce.MapOutput, clusters)
+	for i := range outs {
+		M := int64(50 + rng.Intn(100))
+		m := int64(10 + rng.Intn(int(M)-10))
+		var pairs []mapreduce.KV
+		for j := int64(0); j < m; j++ {
+			if rng.Float64() < 0.6 {
+				key := []string{"a", "b", "c"}[rng.Intn(3)]
+				pairs = append(pairs, mapreduce.KV{Key: key, Value: rng.Float64() * 10})
+			}
+		}
+		outs[i] = &mapreduce.MapOutput{TaskID: i, Items: M, Sampled: m, Pairs: pairs}
+	}
+	return outs
+}
+
+// combinedCopy converts a raw output into its combiner-compacted form.
+func combinedCopy(out *mapreduce.MapOutput) *mapreduce.MapOutput {
+	comb := make(map[string]stats.RunningStat)
+	for _, kv := range out.Pairs {
+		rs := comb[kv.Key]
+		rs.Add(kv.Value)
+		comb[kv.Key] = rs
+	}
+	return &mapreduce.MapOutput{TaskID: out.TaskID, Items: out.Items, Sampled: out.Sampled, Combined: comb}
+}
+
+func estimatesEqual(a, b []mapreduce.KeyEstimate, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key {
+			return false
+		}
+		if math.Abs(a[i].Est.Value-b[i].Est.Value) > tol*(1+math.Abs(b[i].Est.Value)) {
+			return false
+		}
+		ea, eb := a[i].Est.Err, b[i].Est.Err
+		if math.IsInf(ea, 1) != math.IsInf(eb, 1) {
+			return false
+		}
+		if !math.IsInf(ea, 1) && math.Abs(ea-eb) > tol*(1+math.Abs(eb)) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPropertyConsumeOrderInvariance: the multi-stage estimators are
+// symmetric in their clusters, so any consumption order must give the
+// same estimates.
+func TestPropertyConsumeOrderInvariance(t *testing.T) {
+	err := quick.Check(func(seedRaw uint32, permSeed uint32) bool {
+		outs := genOutputs(int64(seedRaw%1000), 8)
+		view := mapreduce.EstimateView{TotalMaps: 16, Consumed: 8, Confidence: 0.95}
+
+		fwd := NewMultiStageReducer(OpSum)
+		for _, o := range outs {
+			fwd.Consume(o)
+		}
+		perm := stats.NewRand(int64(permSeed)).Perm(len(outs))
+		shuf := NewMultiStageReducer(OpSum)
+		for _, i := range perm {
+			shuf.Consume(outs[i])
+		}
+		return estimatesEqual(fwd.Finalize(view), shuf.Finalize(view), 1e-9)
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCombinerEquivalence: combiner-compacted outputs must
+// produce exactly the same estimates as raw pairs.
+func TestPropertyCombinerEquivalence(t *testing.T) {
+	for _, op := range []AggOp{OpSum, OpMean} {
+		err := quick.Check(func(seedRaw uint32) bool {
+			outs := genOutputs(int64(seedRaw%1000)+7, 6)
+			view := mapreduce.EstimateView{TotalMaps: 10, Consumed: 6, Confidence: 0.95}
+			raw := NewMultiStageReducer(op)
+			comb := NewMultiStageReducer(op)
+			for _, o := range outs {
+				raw.Consume(o)
+				comb.Consume(combinedCopy(o))
+			}
+			return estimatesEqual(raw.Finalize(view), comb.Finalize(view), 1e-9)
+		}, &quick.Config{MaxCount: 20})
+		if err != nil {
+			t.Errorf("op %v: %v", op, err)
+		}
+	}
+}
+
+// TestPropertyMoreDataNeverWidens: adding a cluster with data can only
+// shrink (or keep) the error bound of the sum estimate in expectation;
+// we check the deterministic monotone case of identical clusters.
+func TestPropertyMoreDataNeverWidens(t *testing.T) {
+	err := quick.Check(func(valSeed uint32) bool {
+		rng := stats.NewRand(int64(valSeed % 997))
+		mk := func(task int) *mapreduce.MapOutput {
+			var rs stats.RunningStat
+			for j := 0; j < 40; j++ {
+				rs.Add(5 + rng.Float64()) // low-variance values
+			}
+			return &mapreduce.MapOutput{TaskID: task, Items: 80, Sampled: 40,
+				Combined: map[string]stats.RunningStat{"k": rs}}
+		}
+		small := NewMultiStageReducer(OpSum)
+		large := NewMultiStageReducer(OpSum)
+		for task := 0; task < 4; task++ {
+			o := mk(task)
+			small.Consume(o)
+			large.Consume(o)
+		}
+		for task := 4; task < 12; task++ {
+			large.Consume(mk(task))
+		}
+		viewS := mapreduce.EstimateView{TotalMaps: 20, Consumed: 4, Confidence: 0.95}
+		viewL := mapreduce.EstimateView{TotalMaps: 20, Consumed: 12, Confidence: 0.95}
+		es := small.Finalize(viewS)[0].Est
+		el := large.Finalize(viewL)[0].Est
+		return el.Err <= es.Err*1.5 // generous: variance estimates fluctuate
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyExtremeReducerMonotone: the observed extreme is monotone
+// under additional consumption.
+func TestPropertyExtremeReducerMonotone(t *testing.T) {
+	err := quick.Check(func(seedRaw uint32) bool {
+		rng := stats.NewRand(int64(seedRaw % 4099))
+		r := NewMinReducer()
+		obs := math.Inf(1)
+		for task := 0; task < 20; task++ {
+			v := rng.NormFloat64() * 100
+			r.Consume(&mapreduce.MapOutput{TaskID: task, Items: 1, Sampled: 1,
+				Pairs: []mapreduce.KV{{Key: "m", Value: v}}})
+			if v < obs {
+				obs = v
+			}
+			got, ok := r.Observed("m")
+			if !ok || got != obs {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Error(err)
+	}
+}

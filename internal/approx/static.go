@@ -1,0 +1,67 @@
+package approx
+
+import (
+	"fmt"
+	"math"
+
+	"approxhadoop/internal/mapreduce"
+)
+
+// Static is the controller for user-specified dropping/sampling ratios
+// (Section 4.2, first submission mode): the framework randomly drops
+// DropRatio of the map tasks (the launch order is already random, so
+// declining the tail of the order is a uniform random subset) and runs
+// every executed task at SampleRatio. Error bounds for the chosen
+// ratios come out of the job's approximation-aware reducers.
+type Static struct {
+	SampleRatio float64 // input data sampling ratio in (0, 1]; 0 means 1
+	DropRatio   float64 // fraction of map tasks to drop, in [0, 1)
+
+	target int // number of tasks to run; computed on first Plan
+}
+
+// NewStatic builds a Static controller, clamping ratios into range.
+func NewStatic(sampleRatio, dropRatio float64) *Static {
+	if sampleRatio <= 0 || sampleRatio > 1 {
+		sampleRatio = 1
+	}
+	if dropRatio < 0 {
+		dropRatio = 0
+	}
+	if dropRatio > 1 {
+		dropRatio = 1
+	}
+	return &Static{SampleRatio: sampleRatio, DropRatio: dropRatio}
+}
+
+// Name implements mapreduce.Controller.
+func (s *Static) Name() string {
+	return fmt.Sprintf("static(sample=%.3g,drop=%.3g)", s.SampleRatio, s.DropRatio)
+}
+
+// Plan implements mapreduce.Controller.
+func (s *Static) Plan(v *mapreduce.JobView) (float64, mapreduce.PlanAction) {
+	if s.target == 0 {
+		run := int(math.Round((1 - s.DropRatio) * float64(v.TotalMaps)))
+		if run < 1 && s.DropRatio < 1 {
+			run = 1
+		}
+		s.target = run
+		if s.target == 0 {
+			s.target = -1 // drop everything
+		}
+	}
+	if s.target > 0 && v.Launched < s.target {
+		r := s.SampleRatio
+		if r <= 0 || r > 1 {
+			r = 1
+		}
+		return r, mapreduce.PlanRun
+	}
+	return 0, mapreduce.PlanDrop
+}
+
+// Completed implements mapreduce.Controller.
+func (s *Static) Completed(*mapreduce.JobView) mapreduce.Directive {
+	return mapreduce.Directive{}
+}

@@ -1,0 +1,98 @@
+package approx
+
+import (
+	"sort"
+
+	"approxhadoop/internal/mapreduce"
+	"approxhadoop/internal/stats"
+)
+
+// ThreeStageReducer estimates per-PAIR means: the population units are
+// the intermediate <key, value> pairs the Map phase produces, not the
+// input data items (Section 3.1, "Three-stage sampling" — e.g. the
+// average number of occurrences of a word per paragraph when each
+// input item is a whole page). The programmer opts in explicitly by
+// choosing this reducer; the map task's pair production per sampled
+// unit becomes the third sampling stage's size variable.
+//
+// Unlike MultiStageReducer this keeps per-(key, cluster) state, so it
+// is intended for low-cardinality keys (aggregate metrics), which is
+// also the paper's use case.
+type ThreeStageReducer struct {
+	clusters []clusterMeta
+	keys     map[string][]tsEntry
+	sampled  bool
+}
+
+type clusterMeta struct {
+	items   int64 // M_i
+	sampled int64 // m_i
+}
+
+type tsEntry struct {
+	cluster int32
+	pairs   int64 // intermediate pairs observed for the key in this cluster
+	stat    stats.RunningStat
+}
+
+// NewThreeStageReducer builds a per-pair mean reducer.
+func NewThreeStageReducer() *ThreeStageReducer {
+	return &ThreeStageReducer{keys: make(map[string][]tsEntry)}
+}
+
+// Consume implements mapreduce.ReduceLogic. Combined outputs are
+// accepted: the per-key running stat carries the pair count and sums.
+func (r *ThreeStageReducer) Consume(out *mapreduce.MapOutput) {
+	ci := int32(len(r.clusters))
+	r.clusters = append(r.clusters, clusterMeta{items: out.Items, sampled: out.Sampled})
+	if out.Sampled < out.Items {
+		r.sampled = true
+	}
+	add := func(key string, rs stats.RunningStat) {
+		r.keys[key] = append(r.keys[key], tsEntry{cluster: ci, pairs: rs.Count, stat: rs})
+	}
+	if out.Combined != nil {
+		for k, rs := range out.Combined {
+			add(k, rs)
+		}
+		return
+	}
+	tmp := make(map[string]stats.RunningStat)
+	for _, kv := range out.Pairs {
+		rs := tmp[kv.Key]
+		rs.Add(kv.Value)
+		tmp[kv.Key] = rs
+	}
+	for k, rs := range tmp {
+		add(k, rs)
+	}
+}
+
+// Estimates implements mapreduce.ReduceLogic.
+func (r *ThreeStageReducer) Estimates(view mapreduce.EstimateView) []mapreduce.KeyEstimate {
+	return r.Finalize(view)
+}
+
+// Finalize implements mapreduce.ReduceLogic.
+func (r *ThreeStageReducer) Finalize(view mapreduce.EstimateView) []mapreduce.KeyEstimate {
+	exact := !r.sampled && view.Dropped == 0 && len(r.clusters) == view.TotalMaps
+	out := make([]mapreduce.KeyEstimate, 0, len(r.keys))
+	for key, entries := range r.keys {
+		tsc := make([]stats.ThreeStageCluster, len(r.clusters))
+		for i, c := range r.clusters {
+			tsc[i] = stats.ThreeStageCluster{M: c.items, Sam: c.sampled}
+		}
+		for _, e := range entries {
+			tsc[e.cluster].G = e.pairs
+			tsc[e.cluster].Stat = e.stat
+		}
+		est := stats.ThreeStageMean(int64(view.TotalMaps), tsc, view.Confidence)
+		if exact {
+			est.Err = 0
+			est.StdErr = 0
+		}
+		out = append(out, mapreduce.KeyEstimate{Key: key, Est: est, Exact: exact})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -1,0 +1,67 @@
+package approx
+
+import (
+	"math"
+
+	"approxhadoop/internal/mapreduce"
+	"approxhadoop/internal/stats"
+)
+
+// PerTaskMappers implements the paper's third mechanism, user-defined
+// approximation: the user supplies a precise and an approximate
+// version of the map code and a fraction of tasks to run approximately
+// ([19], Section 3). The returned factory plugs into
+// mapreduce.Job.NewMapperFor; the choice is deterministic per (seed,
+// taskID) so re-executions (speculation) pick the same variant.
+//
+// ApproxHadoop cannot bound the error of user-defined approximations;
+// pair this with a user-supplied ReduceLogic that implements whatever
+// quality metric the application defines.
+func PerTaskMappers(approxRatio float64, seed int64, precise, approximate func() mapreduce.Mapper) func(taskID int) mapreduce.Mapper {
+	if approxRatio < 0 {
+		approxRatio = 0
+	}
+	if approxRatio > 1 {
+		approxRatio = 1
+	}
+	return func(taskID int) mapreduce.Mapper {
+		r := stats.NewRand(seed ^ (int64(taskID)+1)*1315423911)
+		if r.Float64() < approxRatio {
+			return approximate()
+		}
+		return precise()
+	}
+}
+
+// RatioOfEstimates combines two interval estimates a/b into a ratio
+// estimate with conservatively propagated bounds (interval division).
+// Useful for derived metrics such as "average request size" = total
+// bytes / total requests, each a MultiStageReducer sum.
+func RatioOfEstimates(num, den stats.Estimate) stats.Estimate {
+	out := stats.Estimate{Conf: num.Conf, DF: num.DF}
+	if den.Value == 0 {
+		out.Value = 0
+		out.Err = 0
+		return out
+	}
+	out.Value = num.Value / den.Value
+	// Interval arithmetic: widest deviation of (num±e1)/(den∓e2).
+	denLo := den.Lo()
+	denHi := den.Hi()
+	if denLo <= 0 && denHi >= 0 {
+		// Denominator interval straddles zero: unbounded ratio.
+		out.Err = math.Inf(1)
+		return out
+	}
+	candidates := []float64{
+		num.Lo() / denLo, num.Lo() / denHi,
+		num.Hi() / denLo, num.Hi() / denHi,
+	}
+	lo, hi := stats.MinMax(candidates)
+	half := hi - out.Value
+	if out.Value-lo > half {
+		half = out.Value - lo
+	}
+	out.Err = half
+	return out
+}

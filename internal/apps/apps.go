@@ -1,0 +1,114 @@
+// Package apps implements every application from the paper's Table 1
+// on top of the ApproxHadoop stack, plus the applications of the
+// technical report's user-defined-approximation study (K-Means and
+// video encoding):
+//
+//	Data analysis  (Wikipedia dump):  WikiLength, WikiPageRank
+//	Log processing (Wikipedia log):   ProjectPopularity, PagePopularity,
+//	                                  RequestRate, PageTraffic
+//	Log processing (web-server log):  TotalSize, RequestSize, Clients,
+//	                                  ClientBrowser, AttackFrequencies,
+//	                                  WebRequestRate
+//	Optimization:                     DCPlacement (simulated annealing,
+//	                                  GEV error bounds)
+//	User-defined approximation:       KMeans, VideoEncoding
+//
+// Every builder returns a ready-to-run mapreduce.Job; passing a nil
+// Controller yields the precise execution (bounds of width zero),
+// while Static/TargetError controllers yield the paper's approximate
+// executions.
+package apps
+
+import (
+	"approxhadoop/internal/approx"
+	"approxhadoop/internal/cluster"
+	"approxhadoop/internal/dfs"
+	"approxhadoop/internal/mapreduce"
+)
+
+// Options configures how an application job is assembled.
+type Options struct {
+	// Controller steers approximation; nil = precise execution.
+	Controller mapreduce.Controller
+	// Plain uses the stock Hadoop classes (TextInputFormat and a plain
+	// sum reducer) instead of the ApproxHadoop templates, for
+	// measuring the framework's overhead (Section 5.2).
+	Plain bool
+	// Cost is the task cost model (default cluster.MeasuredCost{}).
+	Cost cluster.CostModel
+	// Seed for task ordering and sampling.
+	Seed int64
+	// Reduces overrides the reduce task count (default: one per server).
+	Reduces int
+	// SleepIdle enables the S3 energy policy.
+	SleepIdle bool
+	// Barrier disables incremental reduces (ablation).
+	Barrier bool
+	// Speculation enables straggler duplicates.
+	Speculation bool
+}
+
+// aggregationJob assembles the common shape of the Table 1 analytics
+// jobs: ApproxTextInput + combiner + MultiStageReducer (or the plain
+// Hadoop classes when opts.Plain).
+func aggregationJob(name string, input *dfs.File, mapper func() mapreduce.Mapper, op approx.AggOp, opts Options) *mapreduce.Job {
+	job := &mapreduce.Job{
+		Name:        name,
+		Input:       input,
+		NewMapper:   mapper,
+		Reduces:     opts.Reduces,
+		Controller:  opts.Controller,
+		Cost:        opts.Cost,
+		Seed:        opts.Seed,
+		SleepIdle:   opts.SleepIdle,
+		Barrier:     opts.Barrier,
+		Speculation: opts.Speculation,
+	}
+	if opts.Plain {
+		job.Format = mapreduce.TextInputFormat{}
+		switch op {
+		case approx.OpMean:
+			job.NewReduce = func(int) mapreduce.ReduceLogic { return mapreduce.MeanReduce() }
+		default:
+			job.NewReduce = func(int) mapreduce.ReduceLogic { return mapreduce.SumReduce() }
+		}
+		return job
+	}
+	job.Format = approx.ApproxTextInput{}
+	job.Combine = true
+	job.NewReduce = func(int) mapreduce.ReduceLogic { return approx.NewMultiStageReducer(op) }
+	return job
+}
+
+// Spec describes one application for the Table 1 inventory.
+type Spec struct {
+	Name        string
+	Domain      string // data analysis, log processing, optimization, ...
+	Input       string // which dataset it runs on
+	Sampling    bool   // supports input data sampling (S)
+	Dropping    bool   // supports task dropping (D)
+	UserDefined bool   // supports user-defined approximation (U)
+	ErrEst      string // MS (multi-stage sampling), GEV, U (user-defined)
+}
+
+// Registry lists every application, mirroring the paper's Table 1.
+func Registry() []Spec {
+	return []Spec{
+		{"WikiLength", "data analysis", "Wikipedia dump", true, true, false, "MS"},
+		{"WikiPageRank", "data analysis", "Wikipedia dump", true, true, false, "MS"},
+		{"RequestRate(wiki)", "log processing", "Wikipedia log", true, true, false, "MS"},
+		{"ProjectPopularity", "log processing", "Wikipedia log", true, true, false, "MS"},
+		{"PagePopularity", "log processing", "Wikipedia log", true, true, false, "MS"},
+		{"PageTraffic", "log processing", "Wikipedia log", true, true, false, "MS"},
+		{"TotalSize", "log processing", "Webserver log", true, true, false, "MS"},
+		{"RequestSize", "log processing", "Webserver log", true, true, false, "MS"},
+		{"Clients", "log processing", "Webserver log", true, true, false, "MS"},
+		{"ClientBrowser", "log processing", "Webserver log", true, true, false, "MS"},
+		{"RequestRate(web)", "log processing", "Webserver log", true, true, false, "MS"},
+		{"AttackFrequencies", "log processing", "Webserver log", true, true, false, "MS"},
+		{"AvgBytesPerLink", "data analysis", "Wikipedia dump", true, true, false, "MS3"},
+		{"DCPlacement", "optimization", "US/Europe grid", false, true, false, "GEV"},
+		{"VideoEncoding", "video encoding", "Movie frames", false, false, true, "U"},
+		{"KMeans", "machine learning", "Point set", false, false, true, "U"},
+	}
+}

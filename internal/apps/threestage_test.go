@@ -1,0 +1,64 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"approxhadoop/internal/approx"
+	"approxhadoop/internal/workload"
+)
+
+func TestAvgBytesPerLinkThreeStage(t *testing.T) {
+	input := smallWiki().File("wiki3s")
+	// Ground truth: pair-weighted mean of size/len(links) over links.
+	var sum, pairs float64
+	for _, b := range input.Blocks {
+		rc := b.Open()
+		buf := make([]byte, 0, 1<<16)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := rc.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		rc.Close()
+		start := 0
+		for i := 0; i <= len(buf); i++ {
+			if i == len(buf) || buf[i] == '\n' {
+				if i > start {
+					if a, ok := workload.ParseArticle(string(buf[start:i])); ok && len(a.Links) > 0 {
+						sum += float64(a.Size)
+						pairs += float64(len(a.Links))
+					}
+				}
+				start = i + 1
+			}
+		}
+	}
+	truth := sum / pairs
+
+	precise := run(t, AvgBytesPerLink(input, Options{Seed: 1}))
+	if len(precise.Outputs) != 1 {
+		t.Fatalf("outputs = %+v", precise.Outputs)
+	}
+	if got := precise.Outputs[0].Est.Value; math.Abs(got-truth)/truth > 1e-9 {
+		t.Errorf("precise pair mean %v, want %v", got, truth)
+	}
+	if !precise.Outputs[0].Exact {
+		t.Error("precise run should be exact")
+	}
+
+	apx := run(t, AvgBytesPerLink(input, Options{Seed: 1, Controller: approx.NewStatic(0.3, 0.25)}))
+	a := apx.Outputs[0].Est
+	if math.Abs(a.Value-truth)/truth > 0.3 {
+		t.Errorf("approx pair mean %v too far from %v", a.Value, truth)
+	}
+	if a.Err <= 0 || math.IsInf(a.Err, 1) {
+		t.Errorf("approx bound = %v", a.Err)
+	}
+	if a.Lo() > truth || truth > a.Hi() {
+		t.Logf("note: truth %v outside [%v, %v] (expected ~5%% of seeds)", truth, a.Lo(), a.Hi())
+	}
+}

@@ -1,0 +1,88 @@
+package apps
+
+import (
+	"fmt"
+
+	"approxhadoop/internal/approx"
+	"approxhadoop/internal/dfs"
+	"approxhadoop/internal/mapreduce"
+	"approxhadoop/internal/workload"
+)
+
+// WebRequestRate counts requests per hour of the week from the
+// department web-server log (Figure 10a/b: a stable distribution,
+// quite unlike the Zipf popularity apps).
+func WebRequestRate(input *dfs.File, opts Options) *mapreduce.Job {
+	mapper := func() mapreduce.Mapper {
+		return mapreduce.MapperFunc(func(rec mapreduce.Record, emit mapreduce.Emitter) {
+			if a, ok := workload.ParseWebAccess(rec.Value); ok {
+				emit.Emit(fmt.Sprintf("h%03d", a.HourOfWeek), 1)
+			}
+		})
+	}
+	return aggregationJob("RequestRate(web)", input, mapper, approx.OpSum, opts)
+}
+
+// AttackFrequencies counts attacks per client for a set of well-known
+// attack patterns (Figure 10c) — the rare-key application where
+// approximation is least effective.
+func AttackFrequencies(input *dfs.File, opts Options) *mapreduce.Job {
+	mapper := func() mapreduce.Mapper {
+		return mapreduce.MapperFunc(func(rec mapreduce.Record, emit mapreduce.Emitter) {
+			if a, ok := workload.ParseWebAccess(rec.Value); ok && a.IsAttack() {
+				emit.Emit(a.Client, 1)
+			}
+		})
+	}
+	return aggregationJob("AttackFrequencies", input, mapper, approx.OpSum, opts)
+}
+
+// TotalSize sums the bytes served by the web server (a single-key
+// aggregation).
+func TotalSize(input *dfs.File, opts Options) *mapreduce.Job {
+	mapper := func() mapreduce.Mapper {
+		return mapreduce.MapperFunc(func(rec mapreduce.Record, emit mapreduce.Emitter) {
+			if a, ok := workload.ParseWebAccess(rec.Value); ok {
+				emit.Emit("total-bytes", float64(a.Bytes))
+			}
+		})
+	}
+	return aggregationJob("TotalSize", input, mapper, approx.OpSum, opts)
+}
+
+// RequestSize estimates the mean request size (bytes per request), a
+// per-unit average handled by the OpMean ratio estimator.
+func RequestSize(input *dfs.File, opts Options) *mapreduce.Job {
+	mapper := func() mapreduce.Mapper {
+		return mapreduce.MapperFunc(func(rec mapreduce.Record, emit mapreduce.Emitter) {
+			if a, ok := workload.ParseWebAccess(rec.Value); ok {
+				emit.Emit("mean-bytes", float64(a.Bytes))
+			}
+		})
+	}
+	return aggregationJob("RequestSize", input, mapper, approx.OpMean, opts)
+}
+
+// Clients counts requests per client.
+func Clients(input *dfs.File, opts Options) *mapreduce.Job {
+	mapper := func() mapreduce.Mapper {
+		return mapreduce.MapperFunc(func(rec mapreduce.Record, emit mapreduce.Emitter) {
+			if a, ok := workload.ParseWebAccess(rec.Value); ok {
+				emit.Emit(a.Client, 1)
+			}
+		})
+	}
+	return aggregationJob("Clients", input, mapper, approx.OpSum, opts)
+}
+
+// ClientBrowser counts requests per user agent family.
+func ClientBrowser(input *dfs.File, opts Options) *mapreduce.Job {
+	mapper := func() mapreduce.Mapper {
+		return mapreduce.MapperFunc(func(rec mapreduce.Record, emit mapreduce.Emitter) {
+			if a, ok := workload.ParseWebAccess(rec.Value); ok {
+				emit.Emit(a.Agent, 1)
+			}
+		})
+	}
+	return aggregationJob("ClientBrowser", input, mapper, approx.OpSum, opts)
+}

@@ -1,0 +1,151 @@
+// Package core composes the ApproxHadoop system — the paper's primary
+// contribution — out of the substrates: the dfs namespace, the cluster
+// simulator, the mapreduce runtime and the approx layer. It provides
+// the paper's job-submission interface (Section 4.2): a job plus an
+// Approximation spec stating either explicit dropping/sampling ratios
+// or a target error bound at a confidence level, from which the right
+// controller is assembled.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"approxhadoop/internal/approx"
+	"approxhadoop/internal/cluster"
+	"approxhadoop/internal/dfs"
+	"approxhadoop/internal/mapreduce"
+)
+
+// Approximation is the paper's job-submission contract (Section 4.2):
+// the user specifies either (1) explicit dropping and/or sampling
+// ratios, for which ApproxHadoop computes error bounds, or (2) a
+// target error bound at a confidence level, for which ApproxHadoop
+// chooses the ratios online. The zero value means precise execution.
+type Approximation struct {
+	// Mode 1: explicit ratios.
+	DropRatio   float64 // fraction of map tasks to drop, [0, 1)
+	SampleRatio float64 // fraction of input items to process, (0, 1]
+
+	// Mode 2: target error bound.
+	TargetError   float64 // relative bound, e.g. 0.01 for ±1%
+	AbsoluteError float64 // absolute half-width bound (optional)
+	Confidence    float64 // default 0.95
+	Extreme       bool    // min/max job: use the GEV controller
+	StrictPerKey  bool    // bound every key, not just the worst-absolute one
+	Pilot         bool    // bootstrap with a cheap pilot wave
+	PilotRatio    float64 // pilot sampling ratio (default 0.01)
+	PilotTasks    int     // pilot size (default: 1/4 of the map slots)
+}
+
+// precise reports whether the spec requests no approximation.
+func (a Approximation) precise() bool {
+	return a.DropRatio == 0 && (a.SampleRatio == 0 || a.SampleRatio == 1) &&
+		a.TargetError == 0 && a.AbsoluteError == 0
+}
+
+// controller assembles the mapreduce.Controller for the spec.
+func (a Approximation) controller() (mapreduce.Controller, error) {
+	targetMode := a.TargetError > 0 || a.AbsoluteError > 0
+	ratioMode := a.DropRatio > 0 || (a.SampleRatio > 0 && a.SampleRatio < 1)
+	switch {
+	case targetMode && ratioMode:
+		return nil, errors.New("core: specify either explicit ratios or a target bound, not both")
+	case targetMode && a.Extreme:
+		return &approx.TargetErrorGEV{Target: a.TargetError, Absolute: a.AbsoluteError}, nil
+	case targetMode:
+		return &approx.TargetError{
+			Target:     a.TargetError,
+			Absolute:   a.AbsoluteError,
+			Strict:     a.StrictPerKey,
+			Pilot:      a.Pilot,
+			PilotRatio: a.PilotRatio,
+			PilotTasks: a.PilotTasks,
+		}, nil
+	case ratioMode:
+		sr := a.SampleRatio
+		if sr == 0 {
+			sr = 1
+		}
+		return approx.NewStatic(sr, a.DropRatio), nil
+	default:
+		return nil, nil
+	}
+}
+
+// System is an ApproxHadoop deployment: a cluster configuration plus a
+// DFS namespace. Each submitted job runs on a fresh cluster timeline.
+type System struct {
+	cfg      cluster.Config
+	nameNode *dfs.NameNode
+}
+
+// NewSystem builds a System over the given cluster configuration.
+func NewSystem(cfg cluster.Config) *System {
+	eng := cluster.New(cfg)
+	servers := make([]string, 0, len(eng.Servers()))
+	for _, s := range eng.Servers() {
+		servers = append(servers, s.ID)
+	}
+	return &System{cfg: cfg, nameNode: dfs.NewNameNode(servers, 3)}
+}
+
+// Cluster returns the system's cluster configuration.
+func (s *System) Cluster() cluster.Config { return s.cfg }
+
+// Store registers a file with the NameNode (assigning block replicas
+// across the simulated servers for locality-aware scheduling).
+func (s *System) Store(f *dfs.File) error { return s.nameNode.Register(f) }
+
+// File looks up a stored file by name.
+func (s *System) File(name string) (*dfs.File, error) { return s.nameNode.File(name) }
+
+// Files lists stored file names.
+func (s *System) Files() []string { return s.nameNode.List() }
+
+// Run executes a fully-specified job on a fresh cluster.
+func (s *System) Run(job *mapreduce.Job) (*mapreduce.Result, error) {
+	eng := cluster.New(s.cfg)
+	return mapreduce.Run(eng, job)
+}
+
+// Submit applies an Approximation spec to the job and runs it: the
+// paper's submission interface. The job's Controller must be unset —
+// Submit owns that decision. A non-nil spec controller also forces the
+// sampling input format when the job did not set one, so explicit
+// SampleRatio specs actually sample.
+func (s *System) Submit(job *mapreduce.Job, spec Approximation) (*mapreduce.Result, error) {
+	if job.Controller != nil {
+		return nil, errors.New("core: job already has a controller; use Run")
+	}
+	if spec.Confidence > 0 {
+		job.Confidence = spec.Confidence
+	}
+	ctl, err := spec.controller()
+	if err != nil {
+		return nil, err
+	}
+	job.Controller = ctl
+	if ctl != nil && job.Format == nil {
+		job.Format = approx.ApproxTextInput{}
+	}
+	return s.Run(job)
+}
+
+// RunPair executes the job precisely and under the given spec on
+// identical data, returning both results — the evaluation idiom used
+// throughout Section 5 (actual error = approximate vs precise).
+func (s *System) RunPair(build func() *mapreduce.Job, spec Approximation) (precise, apx *mapreduce.Result, err error) {
+	precise, err = s.Run(build())
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: precise run: %w", err)
+	}
+	if spec.precise() {
+		return precise, precise, nil
+	}
+	apx, err = s.Submit(build(), spec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: approximate run: %w", err)
+	}
+	return precise, apx, nil
+}

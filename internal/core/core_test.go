@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"approxhadoop/internal/approx"
+	"approxhadoop/internal/cluster"
+	"approxhadoop/internal/dfs"
+	"approxhadoop/internal/mapreduce"
+)
+
+func testSystem() *System {
+	cfg := cluster.DefaultConfig()
+	cfg.Servers = 4
+	cfg.MapSlotsPerServer = 4
+	return NewSystem(cfg)
+}
+
+func countFile() *dfs.File {
+	var sb strings.Builder
+	for i := 0; i < 4000; i++ {
+		sb.WriteString("k")
+		sb.WriteByte(byte('0' + i%4))
+		sb.WriteString(" 1\n")
+	}
+	return dfs.SplitText("counts.txt", []byte(sb.String()), 2048)
+}
+
+func countJob(input *dfs.File) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name:  "count",
+		Input: input,
+		NewMapper: func() mapreduce.Mapper {
+			return mapreduce.MapperFunc(func(rec mapreduce.Record, emit mapreduce.Emitter) {
+				fields := strings.Fields(rec.Value)
+				if len(fields) == 2 {
+					emit.Emit(fields[0], 1)
+				}
+			})
+		},
+		NewReduce: func(int) mapreduce.ReduceLogic { return approx.NewMultiStageReducer(approx.OpSum) },
+		Combine:   true,
+		Seed:      3,
+	}
+}
+
+func TestSystemStoreAndRun(t *testing.T) {
+	sys := testSystem()
+	input := countFile()
+	if err := sys.Store(input); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.File("counts.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if files := sys.Files(); len(files) != 1 {
+		t.Errorf("Files = %v", files)
+	}
+	if sys.Cluster().Servers != 4 {
+		t.Errorf("cluster config lost")
+	}
+	res, err := sys.Run(countJob(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 4 {
+		t.Fatalf("outputs = %d", len(res.Outputs))
+	}
+	for _, o := range res.Outputs {
+		if o.Est.Value != 1000 || !o.Exact {
+			t.Errorf("%s = %+v, want exactly 1000", o.Key, o.Est)
+		}
+	}
+}
+
+func TestSubmitRatios(t *testing.T) {
+	sys := testSystem()
+	input := countFile()
+	res, err := sys.Submit(countJob(input), Approximation{SampleRatio: 0.25, DropRatio: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.MapsDropped == 0 {
+		t.Error("expected drops")
+	}
+	if res.Counters.ItemsProcessed >= res.Counters.ItemsTotal {
+		t.Error("expected sampling (Submit must install the sampling format)")
+	}
+	for _, o := range res.Outputs {
+		if o.Est.Err <= 0 {
+			t.Errorf("%s should carry a bound", o.Key)
+		}
+		if math.Abs(o.Est.Value-1000)/1000 > 0.5 {
+			t.Errorf("%s = %v implausible", o.Key, o.Est.Value)
+		}
+	}
+}
+
+func TestSubmitTargetBound(t *testing.T) {
+	sys := testSystem()
+	res, err := sys.Submit(countJob(countFile()), Approximation{TargetError: 0.05, Confidence: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range res.Outputs {
+		if o.Est.Conf != 0.99 {
+			t.Errorf("confidence should propagate: %v", o.Est.Conf)
+		}
+	}
+	worst := 0.0
+	for _, o := range res.Outputs {
+		if re := o.Est.RelErr(); re > worst && !math.IsInf(re, 1) {
+			worst = re
+		}
+	}
+	if worst > 0.05 {
+		t.Errorf("bound %.4f exceeds target", worst)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	sys := testSystem()
+	if _, err := sys.Submit(countJob(countFile()),
+		Approximation{SampleRatio: 0.5, TargetError: 0.01}); err == nil {
+		t.Error("mixing modes should fail")
+	}
+	job := countJob(countFile())
+	job.Controller = approx.NewStatic(1, 0)
+	if _, err := sys.Submit(job, Approximation{}); err == nil {
+		t.Error("pre-set controller should be rejected")
+	}
+}
+
+func TestSubmitExtreme(t *testing.T) {
+	spec := Approximation{TargetError: 0.1, Extreme: true}
+	ctl, err := spec.controller()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ctl.(*approx.TargetErrorGEV); !ok {
+		t.Errorf("extreme spec should build a GEV controller, got %T", ctl)
+	}
+}
+
+func TestRunPair(t *testing.T) {
+	sys := testSystem()
+	build := func() *mapreduce.Job { return countJob(countFile()) }
+	precise, apx, err := sys.RunPair(build, Approximation{SampleRatio: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if precise == apx {
+		t.Fatal("distinct runs expected")
+	}
+	p, _ := precise.Output("k0")
+	a, ok := apx.Output("k0")
+	if !ok {
+		t.Fatal("k0 missing")
+	}
+	if math.Abs(a.Est.Value-p.Est.Value)/p.Est.Value > 0.5 {
+		t.Errorf("approx %v vs precise %v", a.Est.Value, p.Est.Value)
+	}
+	// Precise spec short-circuits.
+	pr, ap, err := sys.RunPair(build, Approximation{})
+	if err != nil || pr != ap {
+		t.Errorf("precise spec should return the same result twice: %v", err)
+	}
+}
+
+func TestApproximationPrecise(t *testing.T) {
+	cases := []struct {
+		spec Approximation
+		want bool
+	}{
+		{Approximation{}, true},
+		{Approximation{SampleRatio: 1}, true},
+		{Approximation{SampleRatio: 0.5}, false},
+		{Approximation{DropRatio: 0.1}, false},
+		{Approximation{TargetError: 0.01}, false},
+		{Approximation{AbsoluteError: 5}, false},
+	}
+	for _, c := range cases {
+		if got := c.spec.precise(); got != c.want {
+			t.Errorf("precise(%+v) = %v, want %v", c.spec, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,6 @@
+package core
+
+import "fmt"
+
+// fmtSscan is a tiny indirection so tests read naturally.
+func fmtSscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"approxhadoop/internal/dfs"
+	"approxhadoop/internal/mapreduce"
+)
+
+// StoreResult completes the paper's Figure 4 pipeline: the reduce
+// tasks' ApproxOutput is written back into the DFS namespace as an
+// output file (one TSV block per reduce partition's key range,
+// approximated here as fixed-size blocks). The file is named
+// "<job>.out" unless name is non-empty.
+func (s *System) StoreResult(res *mapreduce.Result, name string) (*dfs.File, error) {
+	if name == "" {
+		name = res.Job + ".out"
+	}
+	var buf bytes.Buffer
+	if err := mapreduce.WriteTSV(&buf, res); err != nil {
+		return nil, fmt.Errorf("core: serializing result: %w", err)
+	}
+	f := dfs.SplitText(name, buf.Bytes(), 1<<20)
+	if len(f.Blocks) == 0 {
+		// An empty result still materializes as an empty file.
+		f.Blocks = append(f.Blocks, dfs.NewByteBlock(name, 0, nil, 0))
+	}
+	if err := s.Store(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

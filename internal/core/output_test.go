@@ -1,0 +1,91 @@
+package core
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"approxhadoop/internal/mapreduce"
+	"approxhadoop/internal/stats"
+)
+
+func TestStoreResult(t *testing.T) {
+	sys := testSystem()
+	res := &mapreduce.Result{
+		Job: "wordcount",
+		Outputs: []mapreduce.KeyEstimate{
+			{Key: "alpha", Est: stats.Estimate{Value: 10, Err: 1, Conf: 0.95}},
+			{Key: "beta", Est: stats.Estimate{Value: 20, Err: 2, Conf: 0.95}},
+		},
+	}
+	f, err := sys.StoreResult(res, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "wordcount.out" {
+		t.Errorf("name = %q", f.Name)
+	}
+	got, err := sys.File("wordcount.out")
+	if err != nil || got != f {
+		t.Fatalf("lookup: %v", err)
+	}
+	rc := f.Blocks[0].Open()
+	data, _ := io.ReadAll(rc)
+	rc.Close()
+	if !strings.Contains(string(data), "alpha\t10\t1\t0.95") {
+		t.Errorf("content: %q", data)
+	}
+	// Replicas assigned for locality.
+	if len(f.Blocks[0].Replicas) == 0 {
+		t.Error("output blocks should be replicated")
+	}
+	// Empty results still materialize.
+	ef, err := sys.StoreResult(&mapreduce.Result{Job: "empty"}, "custom.out")
+	if err != nil || len(ef.Blocks) != 1 {
+		t.Fatalf("empty result: %v %v", ef, err)
+	}
+	// Duplicate name fails via the NameNode.
+	if _, err := sys.StoreResult(res, "wordcount.out"); err == nil {
+		t.Error("duplicate output name should fail")
+	}
+}
+
+// TestEndToEndPipeline runs job -> result -> DFS output -> a second
+// job reading that output: the full Figure 4 loop.
+func TestEndToEndPipeline(t *testing.T) {
+	sys := testSystem()
+	input := countFile()
+	res, err := sys.Run(countJob(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sys.StoreResult(res, "stage1.out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second job: sum the stage-1 values (all 1000) across keys.
+	second := &mapreduce.Job{
+		Name:  "stage2",
+		Input: out,
+		NewMapper: func() mapreduce.Mapper {
+			return mapreduce.MapperFunc(func(rec mapreduce.Record, emit mapreduce.Emitter) {
+				fields := strings.Split(rec.Value, "\t")
+				if len(fields) >= 2 {
+					var v float64
+					if _, err := fmtSscan(fields[1], &v); err == nil {
+						emit.Emit("grand-total", v)
+					}
+				}
+			})
+		},
+		NewReduce: func(int) mapreduce.ReduceLogic { return mapreduce.SumReduce() },
+	}
+	res2, err := sys.Run(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, ok := res2.Output("grand-total")
+	if !ok || total.Est.Value != 4000 {
+		t.Errorf("grand total = %+v ok=%v, want 4000", total, ok)
+	}
+}

@@ -1,0 +1,244 @@
+// Package dfs is a block-oriented distributed file system model that
+// stands in for HDFS. Files are split into blocks; a NameNode tracks
+// block-to-server replica placement so the MapReduce scheduler can make
+// locality-aware decisions, exactly the information Hadoop's JobTracker
+// obtains from the HDFS NameNode.
+//
+// Two block backings exist: in-memory byte blocks (for tests and small
+// inputs) and generator-backed blocks whose content is produced
+// deterministically on every read from a seed. Generator backing is the
+// repository's substitution for the paper's multi-terabyte Wikipedia
+// datasets: a "12.5 TB year of access logs" is represented by its block
+// descriptors, and any map task that reads a block streams freshly
+// generated, deterministic bytes, so precise and approximate executions
+// observe identical data without the storage footprint.
+package dfs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"approxhadoop/internal/stats"
+)
+
+// DefaultBlockSize mirrors classic HDFS 64 MB blocks.
+const DefaultBlockSize = 64 << 20
+
+// Block describes one file block. Open returns a fresh reader over the
+// block's bytes each call; the content must be identical across calls.
+type Block struct {
+	FileName string
+	Index    int   // position within the file
+	Size     int64 // byte size (exact for byte-backed, estimated for generated)
+	Items    int64 // number of records, if known up front (0 = unknown)
+	Replicas []string
+	open     func() io.ReadCloser
+}
+
+// Open returns a reader over the block's raw bytes.
+func (b *Block) Open() io.ReadCloser {
+	return b.open()
+}
+
+// ID returns a human-readable block identifier.
+func (b *Block) ID() string { return fmt.Sprintf("%s#%d", b.FileName, b.Index) }
+
+// File is an immutable sequence of blocks registered with a NameNode.
+type File struct {
+	Name   string
+	Blocks []*Block
+}
+
+// Size returns the total byte size of the file.
+func (f *File) Size() int64 {
+	var s int64
+	for _, b := range f.Blocks {
+		s += b.Size
+	}
+	return s
+}
+
+// NameNode maintains file metadata and block replica placement.
+type NameNode struct {
+	mu          sync.RWMutex
+	files       map[string]*File
+	servers     []string
+	replication int
+	nextServer  int
+}
+
+// NewNameNode creates a NameNode managing the given DataNode servers
+// with the given replication factor (clamped to [1, len(servers)]).
+func NewNameNode(servers []string, replication int) *NameNode {
+	if replication < 1 {
+		replication = 1
+	}
+	if len(servers) > 0 && replication > len(servers) {
+		replication = len(servers)
+	}
+	cp := make([]string, len(servers))
+	copy(cp, servers)
+	return &NameNode{
+		files:       make(map[string]*File),
+		servers:     cp,
+		replication: replication,
+	}
+}
+
+// Servers returns the registered DataNode server IDs.
+func (nn *NameNode) Servers() []string {
+	nn.mu.RLock()
+	defer nn.mu.RUnlock()
+	out := make([]string, len(nn.servers))
+	copy(out, nn.servers)
+	return out
+}
+
+// Register places the blocks on DataNodes (round-robin with the
+// replication factor, approximating HDFS placement) and records the
+// file. It fails if a file with the same name already exists.
+func (nn *NameNode) Register(f *File) error {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if _, ok := nn.files[f.Name]; ok {
+		return fmt.Errorf("dfs: file %q already exists", f.Name)
+	}
+	for _, b := range f.Blocks {
+		b.Replicas = b.Replicas[:0]
+		for r := 0; r < nn.replication && len(nn.servers) > 0; r++ {
+			b.Replicas = append(b.Replicas, nn.servers[nn.nextServer%len(nn.servers)])
+			nn.nextServer++
+		}
+	}
+	nn.files[f.Name] = f
+	return nil
+}
+
+// File looks up a registered file by name.
+func (nn *NameNode) File(name string) (*File, error) {
+	nn.mu.RLock()
+	defer nn.mu.RUnlock()
+	f, ok := nn.files[name]
+	if !ok {
+		return nil, fmt.Errorf("dfs: file %q not found", name)
+	}
+	return f, nil
+}
+
+// Delete removes a file's metadata.
+func (nn *NameNode) Delete(name string) error {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if _, ok := nn.files[name]; !ok {
+		return fmt.Errorf("dfs: file %q not found", name)
+	}
+	delete(nn.files, name)
+	return nil
+}
+
+// List returns the names of all registered files in sorted order.
+func (nn *NameNode) List() []string {
+	nn.mu.RLock()
+	defer nn.mu.RUnlock()
+	names := make([]string, 0, len(nn.files))
+	for n := range nn.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// nopCloser adapts a Reader into a ReadCloser.
+type nopCloser struct{ io.Reader }
+
+func (nopCloser) Close() error { return nil }
+
+// NewByteBlock builds a block backed by an in-memory byte slice. items
+// may be 0 if unknown.
+func NewByteBlock(fileName string, index int, data []byte, items int64) *Block {
+	return &Block{
+		FileName: fileName,
+		Index:    index,
+		Size:     int64(len(data)),
+		Items:    items,
+		open:     func() io.ReadCloser { return nopCloser{bytes.NewReader(data)} },
+	}
+}
+
+// RandSource is the deterministic random source handed to block
+// generators (satisfied by *math/rand.Rand).
+type RandSource interface{ Int63() int64 }
+
+// LineGenerator produces the lines of one generated block. It is
+// invoked with a deterministic per-block RNG and must write the same
+// content for the same seed on every call.
+type LineGenerator func(blockIndex int, r RandSource, w *bufio.Writer) error
+
+// NewGeneratedBlock builds a block whose content is produced on demand
+// by gen, seeded with seed ^ blockIndex so blocks differ but are
+// reproducible. estSize/estItems are metadata hints.
+func NewGeneratedBlock(fileName string, index int, seed int64, estSize, estItems int64, gen LineGenerator) *Block {
+	return &Block{
+		FileName: fileName,
+		Index:    index,
+		Size:     estSize,
+		Items:    estItems,
+		open: func() io.ReadCloser {
+			pr, pw := io.Pipe()
+			go func() {
+				bw := bufio.NewWriterSize(pw, 64<<10)
+				const mix = int64(-0x61C8864680B583EB) // golden-ratio mixing constant
+				r := stats.NewRand(seed ^ (int64(index)+1)*mix)
+				err := gen(index, r, bw)
+				if err == nil {
+					err = bw.Flush()
+				}
+				pw.CloseWithError(err)
+			}()
+			return pr
+		},
+	}
+}
+
+// SplitText splits text content into line-aligned blocks of at most
+// blockSize bytes (a line never spans blocks, like Hadoop text splits
+// after record alignment) and returns the resulting file.
+func SplitText(name string, content []byte, blockSize int) *File {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	f := &File{Name: name}
+	start := 0
+	for start < len(content) {
+		end := start + blockSize
+		if end >= len(content) {
+			end = len(content)
+		} else {
+			// Extend to the end of the current line.
+			for end < len(content) && content[end-1] != '\n' {
+				end++
+			}
+		}
+		chunk := content[start:end]
+		items := int64(bytes.Count(chunk, []byte{'\n'}))
+		if len(chunk) > 0 && chunk[len(chunk)-1] != '\n' {
+			items++
+		}
+		f.Blocks = append(f.Blocks, NewByteBlock(name, len(f.Blocks), chunk, items))
+		start = end
+	}
+	return f
+}
+
+// GeneratedFile builds a file of nBlocks generator-backed blocks.
+func GeneratedFile(name string, nBlocks int, seed, estBlockSize, estBlockItems int64, gen LineGenerator) *File {
+	f := &File{Name: name}
+	for i := 0; i < nBlocks; i++ {
+		f.Blocks = append(f.Blocks, NewGeneratedBlock(name, i, seed, estBlockSize, estBlockItems, gen))
+	}
+	return f
+}

@@ -1,0 +1,181 @@
+package dfs
+
+import (
+	"bufio"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func readAll(t *testing.T, b *Block) string {
+	t.Helper()
+	rc := b.Open()
+	defer rc.Close()
+	data, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatalf("read block: %v", err)
+	}
+	return string(data)
+}
+
+func TestSplitTextAlignment(t *testing.T) {
+	content := []byte("aaa\nbbbb\ncc\ndddddd\ne\n")
+	f := SplitText("t.txt", content, 6)
+	if len(f.Blocks) < 2 {
+		t.Fatalf("expected multiple blocks, got %d", len(f.Blocks))
+	}
+	var rebuilt strings.Builder
+	var items int64
+	for i, b := range f.Blocks {
+		s := readAll(t, b)
+		if !strings.HasSuffix(s, "\n") {
+			t.Errorf("block %d does not end at a line boundary: %q", i, s)
+		}
+		rebuilt.WriteString(s)
+		items += b.Items
+	}
+	if rebuilt.String() != string(content) {
+		t.Errorf("blocks do not reassemble the file")
+	}
+	if items != 5 {
+		t.Errorf("item count %d, want 5", items)
+	}
+	if f.Size() != int64(len(content)) {
+		t.Errorf("Size = %d, want %d", f.Size(), len(content))
+	}
+}
+
+func TestSplitTextNoTrailingNewline(t *testing.T) {
+	f := SplitText("t.txt", []byte("one\ntwo"), 100)
+	if len(f.Blocks) != 1 || f.Blocks[0].Items != 2 {
+		t.Errorf("want single block with 2 items, got %+v", f.Blocks)
+	}
+}
+
+func TestSplitTextEmpty(t *testing.T) {
+	f := SplitText("e.txt", nil, 10)
+	if len(f.Blocks) != 0 {
+		t.Errorf("empty content should yield no blocks")
+	}
+}
+
+func TestSplitTextProperty(t *testing.T) {
+	err := quick.Check(func(lines []string, bsSeed uint8) bool {
+		var sb strings.Builder
+		for _, l := range lines {
+			sb.WriteString(strings.ReplaceAll(l, "\n", " "))
+			sb.WriteByte('\n')
+		}
+		content := sb.String()
+		bs := int(bsSeed)%64 + 1
+		f := SplitText("p.txt", []byte(content), bs)
+		var re strings.Builder
+		for _, b := range f.Blocks {
+			rc := b.Open()
+			d, _ := io.ReadAll(rc)
+			rc.Close()
+			re.Write(d)
+		}
+		return re.String() == content
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratedBlockDeterministic(t *testing.T) {
+	gen := func(idx int, r RandSource, w *bufio.Writer) error {
+		for i := 0; i < 10; i++ {
+			if _, err := w.WriteString(strings.Repeat("x", int(r.Int63()%5)+1) + "\n"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	b := NewGeneratedBlock("g.txt", 3, 42, 0, 10, gen)
+	first := readAll(t, b)
+	second := readAll(t, b)
+	if first != second {
+		t.Error("generated block content must be identical across reads")
+	}
+	other := NewGeneratedBlock("g.txt", 4, 42, 0, 10, gen)
+	if readAll(t, other) == first {
+		t.Error("different block indices should generate different content")
+	}
+}
+
+func TestGeneratedFile(t *testing.T) {
+	f := GeneratedFile("gf", 5, 7, 100, 10, func(idx int, r RandSource, w *bufio.Writer) error {
+		_, err := w.WriteString("hello\n")
+		return err
+	})
+	if len(f.Blocks) != 5 {
+		t.Fatalf("want 5 blocks, got %d", len(f.Blocks))
+	}
+	for i, b := range f.Blocks {
+		if b.Index != i || b.Items != 10 || b.Size != 100 {
+			t.Errorf("block %d metadata wrong: %+v", i, b)
+		}
+		if got := readAll(t, b); got != "hello\n" {
+			t.Errorf("block %d content %q", i, got)
+		}
+	}
+}
+
+func TestNameNodePlacement(t *testing.T) {
+	nn := NewNameNode([]string{"s1", "s2", "s3"}, 2)
+	f := SplitText("f.txt", []byte("a\nb\nc\nd\ne\nf\n"), 2)
+	if err := nn.Register(f); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range f.Blocks {
+		if len(b.Replicas) != 2 {
+			t.Errorf("block %d has %d replicas, want 2", b.Index, len(b.Replicas))
+		}
+		if b.Replicas[0] == b.Replicas[1] {
+			// Round-robin adjacent placement can never duplicate with 3 servers.
+			t.Errorf("block %d replicas identical: %v", b.Index, b.Replicas)
+		}
+	}
+	got, err := nn.File("f.txt")
+	if err != nil || got != f {
+		t.Errorf("File lookup failed: %v", err)
+	}
+	if err := nn.Register(f); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+	if _, err := nn.File("missing"); err == nil {
+		t.Error("missing file lookup should fail")
+	}
+	if names := nn.List(); len(names) != 1 || names[0] != "f.txt" {
+		t.Errorf("List = %v", names)
+	}
+	if err := nn.Delete("f.txt"); err != nil {
+		t.Error(err)
+	}
+	if err := nn.Delete("f.txt"); err == nil {
+		t.Error("double delete should fail")
+	}
+}
+
+func TestNameNodeReplicationClamp(t *testing.T) {
+	nn := NewNameNode([]string{"only"}, 5)
+	f := SplitText("f", []byte("x\n"), 10)
+	if err := nn.Register(f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Blocks[0].Replicas) != 1 {
+		t.Errorf("replication should clamp to server count")
+	}
+	if got := nn.Servers(); len(got) != 1 || got[0] != "only" {
+		t.Errorf("Servers = %v", got)
+	}
+}
+
+func TestBlockID(t *testing.T) {
+	b := NewByteBlock("data.log", 7, []byte("x"), 1)
+	if b.ID() != "data.log#7" {
+		t.Errorf("ID = %q", b.ID())
+	}
+}

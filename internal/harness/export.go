@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ExportPointsCSV writes sweep/target points as CSV for external
+// plotting tools, one row per configuration.
+func ExportPointsCSV(w io.Writer, points []Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"label", "drop", "sample", "target",
+		"runtime_s", "runtime_min_s", "runtime_max_s",
+		"actual_err_pct", "ci95_pct", "energy_wh", "maps_run"}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, p := range points {
+		if err := cw.Write([]string{
+			p.Label, f(p.Drop), f(p.Sample), f(p.Target),
+			f(p.Runtime), f(p.RunMin), f(p.RunMax),
+			f(p.ActualPct), f(p.CIPct), f(p.EnergyWh), f(p.MapsRun),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ExportFig5CSV writes per-key precise/approximate rows as CSV.
+func ExportFig5CSV(w io.Writer, rows []Fig5Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"key", "precise", "approx", "ci95"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{r.Key,
+			fmt.Sprintf("%g", r.Precise), fmt.Sprintf("%g", r.Approx), fmt.Sprintf("%g", r.CI)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ExportFig13CSV writes the scaling series as CSV.
+func ExportFig13CSV(w io.Writer, rows []Fig13Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"days", "projpop_precise_s", "projpop_approx_s", "projpop_speedup",
+		"approx_ci_pct", "pagepop_precise_s", "pagepop_approx_s", "pagepop_speedup"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			strconv.Itoa(r.Days),
+			fmt.Sprintf("%g", r.PreciseSecs), fmt.Sprintf("%g", r.ApproxSecs), fmt.Sprintf("%g", r.Speedup),
+			fmt.Sprintf("%g", r.ApproxCI),
+			fmt.Sprintf("%g", r.PagePrecise), fmt.Sprintf("%g", r.PageApprox), fmt.Sprintf("%g", r.PageSpeedup),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"testing"
+)
+
+func TestExportPointsCSV(t *testing.T) {
+	var buf bytes.Buffer
+	points := []Point{
+		{Label: "drop=0% sample=10%", Drop: 0, Sample: 0.1, Runtime: 53.8,
+			RunMin: 53.6, RunMax: 53.9, ActualPct: 0.34, CIPct: 1.28, EnergyWh: 18.6, MapsRun: 161},
+		{Label: "drop=50% sample=1%", Drop: 0.5, Sample: 0.01, Runtime: 27.8},
+	}
+	if err := ExportPointsCSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("rows = %d", len(recs))
+	}
+	if recs[0][0] != "label" || recs[1][4] != "53.8" || recs[2][2] != "0.01" {
+		t.Errorf("csv content: %v", recs)
+	}
+}
+
+func TestExportFig5AndFig13CSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportFig5CSV(&buf, []Fig5Row{{Key: "proj1", Precise: 100, Approx: 98, CI: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil || len(recs) != 2 || recs[1][0] != "proj1" {
+		t.Fatalf("fig5 csv: %v %v", recs, err)
+	}
+	buf.Reset()
+	if err := ExportFig13CSV(&buf, []Fig13Row{{Days: 7, PreciseSecs: 31.5, ApproxSecs: 31.5, Speedup: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = csv.NewReader(&buf).ReadAll()
+	if err != nil || len(recs) != 2 || recs[1][0] != "7" {
+		t.Fatalf("fig13 csv: %v %v", recs, err)
+	}
+}

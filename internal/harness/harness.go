@@ -1,0 +1,243 @@
+// Package harness runs the paper's evaluation: for every table and
+// figure in Section 5 it regenerates the corresponding rows/series on
+// the simulated cluster, reporting runtime, energy, actual error
+// (approximate vs precise executions on the same data) and the 95%
+// confidence intervals ApproxHadoop computed.
+//
+// Experiments follow the paper's methodology: each configuration is
+// repeated Reps times with different seeds (the paper uses 20); for
+// multi-key outputs, the reported error/interval belongs to the key
+// with the maximum predicted absolute error.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"approxhadoop/internal/apps"
+	"approxhadoop/internal/cluster"
+	"approxhadoop/internal/mapreduce"
+)
+
+// Config parameterizes a harness run.
+type Config struct {
+	// Scale multiplies per-block record counts (1 = default laptop
+	// scale; benches use smaller values).
+	Scale float64
+	// Reps is the number of repetitions per data point (paper: 20).
+	Reps int
+	// Cluster is the simulated cluster configuration.
+	Cluster cluster.Config
+	// Cost converts task measurements into virtual durations; the
+	// default is PaperCost(), calibrated to paper-scale seconds.
+	Cost cluster.CostModel
+	// Seed is the base seed; repetition r uses Seed + r.
+	Seed int64
+	// Out receives the printed tables (defaults to io.Discard).
+	Out io.Writer
+}
+
+// PaperCost returns the analytic cost model calibrated so the default
+// synthetic WikiLength job (161 maps over 80 slots) lands near the
+// paper's ~180 s precise runtime.
+func PaperCost() cluster.AnalyticCost {
+	return cluster.AnalyticCost{T0: 1.5, Tr: 0.006, Tp: 0.024, RedPerK: 0.02}
+}
+
+// Default returns the standard harness configuration.
+func Default() Config {
+	return Config{
+		Scale:   1,
+		Reps:    3,
+		Cluster: cluster.DefaultConfig(),
+		Cost:    PaperCost(),
+		Seed:    42,
+	}
+}
+
+// Runner executes experiments.
+type Runner struct {
+	cfg Config
+	out io.Writer
+}
+
+// New builds a Runner, applying defaults for zero fields.
+func New(cfg Config) *Runner {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 1
+	}
+	if cfg.Cluster.Servers == 0 {
+		cfg.Cluster = cluster.DefaultConfig()
+	}
+	if cfg.Cost == nil {
+		cfg.Cost = PaperCost()
+	}
+	out := cfg.Out
+	if out == nil {
+		out = io.Discard
+	}
+	return &Runner{cfg: cfg, out: out}
+}
+
+// scaleN scales a record count by the configured scale (min 10).
+func (r *Runner) scaleN(n int) int {
+	s := int(float64(n) * r.cfg.Scale)
+	if s < 10 {
+		s = 10
+	}
+	return s
+}
+
+// opts assembles app options for one repetition.
+func (r *Runner) opts(ctl mapreduce.Controller, rep int, sleepIdle bool) apps.Options {
+	return apps.Options{
+		Controller: ctl,
+		Cost:       r.cfg.Cost,
+		Seed:       r.cfg.Seed + int64(rep)*7919,
+		SleepIdle:  sleepIdle,
+	}
+}
+
+// runJob executes one job on a fresh simulated cluster.
+func (r *Runner) runJob(job *mapreduce.Job) (*mapreduce.Result, error) {
+	eng := cluster.New(r.cfg.Cluster)
+	return mapreduce.Run(eng, job)
+}
+
+// WorstKey returns the output whose predicted absolute error is
+// largest (finite errors preferred; an infinite bound wins only when
+// nothing finite exists), which is the key the paper reports.
+func WorstKey(res *mapreduce.Result) (mapreduce.KeyEstimate, bool) {
+	var best mapreduce.KeyEstimate
+	found := false
+	bestFinite := false
+	for _, o := range res.Outputs {
+		finite := !math.IsInf(o.Est.Err, 1) && !math.IsNaN(o.Est.Err)
+		switch {
+		case !found:
+			best, found, bestFinite = o, true, finite
+		case finite && !bestFinite:
+			best, bestFinite = o, true
+		case finite == bestFinite && o.Est.Err > best.Est.Err:
+			best = o
+		}
+	}
+	return best, found
+}
+
+// ActualError compares an approximate run against the precise run: it
+// returns the relative actual error and the relative CI half-width of
+// the approximate run's worst (max predicted absolute error) key.
+func ActualError(precise, apx *mapreduce.Result) (actualRel, ciRel float64) {
+	worst, ok := WorstKey(apx)
+	if !ok {
+		return 0, 0
+	}
+	p, ok := precise.Output(worst.Key)
+	if !ok || p.Est.Value == 0 {
+		return math.NaN(), worst.Est.RelErr()
+	}
+	return math.Abs(worst.Est.Value-p.Est.Value) / math.Abs(p.Est.Value), worst.Est.RelErr()
+}
+
+// Point is one measured configuration of a sweep.
+type Point struct {
+	Label     string  // e.g. "drop=25% sample=10%"
+	Drop      float64 // dropping ratio
+	Sample    float64 // sampling ratio
+	Target    float64 // target error (target-mode sweeps)
+	Runtime   float64 // mean virtual seconds
+	RunMin    float64
+	RunMax    float64
+	ActualPct float64 // mean actual error, percent
+	CIPct     float64 // mean 95% CI half-width, percent
+	EnergyWh  float64 // mean energy
+	MapsRun   float64 // mean maps completed
+}
+
+// repeat runs `build` cfg.Reps times and aggregates runtime/energy and
+// error against the per-rep precise baselines.
+func (r *Runner) repeat(build func(rep int) (*mapreduce.Job, error), precise []*mapreduce.Result) (Point, error) {
+	var p Point
+	p.RunMin = math.Inf(1)
+	p.RunMax = math.Inf(-1)
+	var actSum, ciSum float64
+	actN := 0
+	for rep := 0; rep < r.cfg.Reps; rep++ {
+		job, err := build(rep)
+		if err != nil {
+			return p, err
+		}
+		res, err := r.runJob(job)
+		if err != nil {
+			return p, err
+		}
+		p.Runtime += res.Runtime
+		p.EnergyWh += res.EnergyWh
+		p.MapsRun += float64(res.Counters.MapsCompleted)
+		if res.Runtime < p.RunMin {
+			p.RunMin = res.Runtime
+		}
+		if res.Runtime > p.RunMax {
+			p.RunMax = res.Runtime
+		}
+		if precise != nil {
+			act, ci := ActualError(precise[rep%len(precise)], res)
+			if !math.IsNaN(act) {
+				actSum += act
+				actN++
+			}
+			if !math.IsInf(ci, 1) && !math.IsNaN(ci) {
+				ciSum += ci
+			}
+		}
+	}
+	n := float64(r.cfg.Reps)
+	p.Runtime /= n
+	p.EnergyWh /= n
+	p.MapsRun /= n
+	if actN > 0 {
+		p.ActualPct = actSum / float64(actN) * 100
+	}
+	p.CIPct = ciSum / n * 100
+	return p, nil
+}
+
+// printPoints renders a sweep as an aligned table.
+func (r *Runner) printPoints(title string, cols []string, rows [][]string) {
+	fmt.Fprintf(r.out, "\n== %s ==\n", title)
+	tw := tabwriter.NewWriter(r.out, 2, 4, 2, ' ', 0)
+	for i, c := range cols {
+		if i > 0 {
+			fmt.Fprint(tw, "\t")
+		}
+		fmt.Fprint(tw, c)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range rows {
+		for i, c := range row {
+			if i > 0 {
+				fmt.Fprint(tw, "\t")
+			}
+			fmt.Fprint(tw, c)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+func pct(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2f%%", v)
+}

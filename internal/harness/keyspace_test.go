@@ -1,0 +1,43 @@
+package harness
+
+import "testing"
+
+func TestKeySpace(t *testing.T) {
+	r, _ := tiny(t)
+	rows, err := r.KeySpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.ObservedKeys > row.TrueKeys {
+			t.Errorf("observed %d cannot exceed true %d", row.ObservedKeys, row.TrueKeys)
+		}
+		if row.ChaoEstimate < float64(row.ObservedKeys) {
+			t.Errorf("Chao %v below observed %d", row.ChaoEstimate, row.ObservedKeys)
+		}
+		if row.MissingBound <= 0 {
+			t.Errorf("missing-key bound %v should be positive", row.MissingBound)
+		}
+		if row.MissingBound >= row.WorstSeenBound {
+			t.Errorf("missing-key bound %v should be far below the worst observed bound %v",
+				row.MissingBound, row.WorstSeenBound)
+		}
+		// The zero-plus-bound statement holds per key at 95%; across
+		// all missed keys at most ~5% (plus slack) may exceed it.
+		if row.MissedKeys > 0 {
+			frac := float64(row.MissedOverBound) / float64(row.MissedKeys)
+			if frac > 0.10 {
+				t.Errorf("%.0f%% sampling: %.1f%% of missed keys exceed the bound",
+					row.Sample*100, frac*100)
+			}
+		}
+	}
+	// Heavier sampling observes at least as many keys.
+	if rows[0].ObservedKeys < rows[2].ObservedKeys {
+		t.Errorf("50%% sampling observed fewer keys (%d) than 1%% (%d)",
+			rows[0].ObservedKeys, rows[2].ObservedKeys)
+	}
+}

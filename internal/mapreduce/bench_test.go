@@ -1,0 +1,101 @@
+package mapreduce
+
+import (
+	"strings"
+	"testing"
+
+	"approxhadoop/internal/cluster"
+	"approxhadoop/internal/dfs"
+)
+
+// benchInput builds a reusable word-count corpus.
+func benchInput(lines int) *dfs.File {
+	var sb strings.Builder
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for i := 0; i < lines; i++ {
+		sb.WriteString(words[i%len(words)])
+		sb.WriteByte(' ')
+		sb.WriteString(words[(i*3)%len(words)])
+		sb.WriteByte('\n')
+	}
+	return dfs.SplitText("bench.txt", []byte(sb.String()), 8192)
+}
+
+func benchJob(input *dfs.File, combine bool) *Job {
+	return &Job{
+		Input: input,
+		NewMapper: func() Mapper {
+			return MapperFunc(func(rec Record, emit Emitter) {
+				for _, w := range strings.Fields(rec.Value) {
+					emit.Emit(w, 1)
+				}
+			})
+		},
+		NewReduce: func(int) ReduceLogic { return SumReduce() },
+		Combine:   combine,
+		Cost:      cluster.AnalyticCost{T0: 1, Tr: 1e-5, Tp: 1e-4},
+	}
+}
+
+// BenchmarkJobThroughput measures end-to-end framework throughput:
+// scheduling, real map execution, shuffle and reduce for a 10k-line
+// word count.
+func BenchmarkJobThroughput(b *testing.B) {
+	input := benchInput(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := cluster.DefaultConfig()
+		cfg.Servers = 4
+		if _, err := Run(cluster.New(cfg), benchJob(input, false)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(input.Size()))
+}
+
+// BenchmarkJobThroughputCombined measures the same job with map-side
+// combining (fewer shuffled pairs).
+func BenchmarkJobThroughputCombined(b *testing.B) {
+	input := benchInput(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := cluster.DefaultConfig()
+		cfg.Servers = 4
+		if _, err := Run(cluster.New(cfg), benchJob(input, true)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(input.Size()))
+}
+
+// BenchmarkPartition measures the shuffle partitioner.
+func BenchmarkPartition(b *testing.B) {
+	keys := []string{"alpha", "beta", "gamma", "delta", "a-much-longer-key-for-hashing"}
+	for i := 0; i < b.N; i++ {
+		_ = Partition(keys[i%len(keys)], 16)
+	}
+}
+
+// BenchmarkTextReader measures raw record-reader throughput.
+func BenchmarkTextReader(b *testing.B) {
+	input := benchInput(20000)
+	block := input.Blocks[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rr, err := TextInputFormat{}.Open(block, 1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			_, ok, err := rr.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+		}
+		rr.Close()
+	}
+	b.SetBytes(block.Size)
+}

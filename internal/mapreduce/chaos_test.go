@@ -1,0 +1,180 @@
+package mapreduce
+
+import (
+	"math/rand"
+	"testing"
+
+	"approxhadoop/internal/cluster"
+	"approxhadoop/internal/stats"
+)
+
+// chaosController makes random decisions on every hook: random
+// sampling ratios, random drops/defers, random kills. Whatever it
+// does, the scheduler must uphold its invariants.
+type chaosController struct {
+	rng *rand.Rand
+}
+
+func (c *chaosController) Name() string { return "chaos" }
+
+func (c *chaosController) Plan(v *JobView) (float64, PlanAction) {
+	switch c.rng.Intn(10) {
+	case 0:
+		return 0, PlanDrop
+	case 1:
+		return 0, PlanDefer
+	default:
+		return 0.05 + c.rng.Float64()*0.95, PlanRun
+	}
+}
+
+func (c *chaosController) Completed(v *JobView) Directive {
+	d := Directive{}
+	switch c.rng.Intn(12) {
+	case 0:
+		d.DropPending = true
+	case 1:
+		d.DropPending = true
+		d.KillRunning = true
+	case 2:
+		d.MaxLaunch = 1 + c.rng.Intn(v.TotalMaps)
+	case 3:
+		d.SampleRatio = c.rng.Float64()
+	}
+	// Exercise the view accessors too.
+	_ = v.Estimates()
+	_, _, _ = v.CostParams()
+	return d
+}
+
+// TestChaosControllerInvariants runs many jobs under a randomized
+// controller and verifies the scheduler's accounting invariants hold
+// in every case.
+func TestChaosControllerInvariants(t *testing.T) {
+	input, _ := wordCountInput(t, 64)
+	for trial := 0; trial < 30; trial++ {
+		cfg := cluster.DefaultConfig()
+		cfg.Servers = 2 + trial%3
+		cfg.MapSlotsPerServer = 1 + trial%4
+		cfg.StragglerProb = float64(trial%3) * 0.2
+		cfg.StragglerFactor = 5
+		cfg.Seed = int64(trial)
+		eng := cluster.New(cfg)
+
+		var events []Event
+		job := &Job{
+			Input:       input,
+			NewMapper:   wordCountMapper,
+			NewReduce:   func(int) ReduceLogic { return SumReduce() },
+			Controller:  &chaosController{rng: stats.NewRand(int64(trial) * 31)},
+			Cost:        cluster.AnalyticCost{T0: 1, Tr: 0.001, Tp: 0.01},
+			Seed:        int64(trial),
+			Speculation: trial%2 == 0,
+			SleepIdle:   trial%3 == 0,
+			Trace:       func(e Event) { events = append(events, e) },
+		}
+		res, err := Run(eng, job)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		c := res.Counters
+
+		// Invariant: every logical task is accounted for exactly once.
+		if c.MapsCompleted+c.MapsDropped > c.MapsTotal {
+			t.Errorf("trial %d: completed %d + dropped-unlaunched %d exceeds total %d",
+				trial, c.MapsCompleted, c.MapsDropped, c.MapsTotal)
+		}
+		// Killed-without-completion tasks are the remaining gap.
+		accounted := c.MapsCompleted + c.MapsDropped
+		if gap := c.MapsTotal - accounted; gap > c.MapsKilled {
+			t.Errorf("trial %d: %d tasks unaccounted (killed=%d): %+v", trial, gap, c.MapsKilled, c)
+		}
+		// Invariant: no slot leaks — all servers idle at the end.
+		for _, s := range eng.Servers() {
+			if s.Busy(cluster.MapSlot) != 0 || s.Busy(cluster.ReduceSlot) != 0 {
+				t.Errorf("trial %d: slot leak on %s", trial, s.ID)
+			}
+		}
+		// Invariant: virtual time and energy are finite and positive.
+		if !(res.Runtime >= 0) || !(res.EnergyWh >= 0) {
+			t.Errorf("trial %d: runtime %v energy %v", trial, res.Runtime, res.EnergyWh)
+		}
+		// Invariant: outputs sorted by key.
+		for i := 1; i < len(res.Outputs); i++ {
+			if res.Outputs[i-1].Key > res.Outputs[i].Key {
+				t.Fatalf("trial %d: outputs unsorted", trial)
+			}
+		}
+		// Trace invariants: events in non-decreasing virtual time,
+		// exactly one job-completed event at the end.
+		jobDone := 0
+		for i, e := range events {
+			if i > 0 && e.Time < events[i-1].Time-1e-9 {
+				t.Fatalf("trial %d: trace time went backwards at %d", trial, i)
+			}
+			if e.Kind == EventJobCompleted {
+				jobDone++
+			}
+		}
+		if jobDone != 1 {
+			t.Errorf("trial %d: %d job-completed events", trial, jobDone)
+		}
+		// Launch/completion pairing: a completion/kill for every launch.
+		launches, terminations := 0, 0
+		for _, e := range events {
+			switch e.Kind {
+			case EventMapLaunched, EventMapSpeculated:
+				launches++
+			case EventMapCompleted, EventMapKilled:
+				terminations++
+			}
+		}
+		if launches != terminations {
+			t.Errorf("trial %d: %d launches vs %d terminations", trial, launches, terminations)
+		}
+	}
+}
+
+// TestTraceEventStrings covers the String methods.
+func TestTraceEventStrings(t *testing.T) {
+	kinds := []EventKind{EventMapLaunched, EventMapCompleted, EventMapKilled,
+		EventMapDropped, EventMapSpeculated, EventReduceFinished, EventJobCompleted, EventKind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("empty string for kind %d", k)
+		}
+	}
+	e := Event{Kind: EventMapLaunched, Time: 1.5, Task: 3, Server: "s", Ratio: 0.5}
+	if e.String() == "" {
+		t.Error("empty event string")
+	}
+}
+
+// TestDeterministicTrace verifies the whole schedule is reproducible.
+func TestDeterministicTrace(t *testing.T) {
+	input, _ := wordCountInput(t, 128)
+	runOnce := func() []Event {
+		var events []Event
+		job := &Job{
+			Input:     input,
+			NewMapper: wordCountMapper,
+			NewReduce: func(int) ReduceLogic { return SumReduce() },
+			Cost:      cluster.AnalyticCost{T0: 1, Tr: 0.001, Tp: 0.01},
+			Seed:      99,
+			Trace:     func(e Event) { events = append(events, e) },
+		}
+		if _, err := Run(testEngine(), job); err != nil {
+			t.Fatal(err)
+		}
+		return events
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"approxhadoop/internal/cluster"
+)
+
+// TestSpeculationOnHeterogeneousCluster reproduces the LATE/Zaharia
+// scenario: one crippled server makes its tasks stragglers; with
+// speculation the job finishes much earlier because duplicates land on
+// healthy servers.
+func TestSpeculationOnHeterogeneousCluster(t *testing.T) {
+	input, want := wordCountInput(t, 64)
+	build := func(spec bool) (*cluster.Engine, *Job) {
+		cfg := cluster.DefaultConfig()
+		cfg.Servers = 4
+		cfg.MapSlotsPerServer = 2
+		cfg.SpeedFactors = map[int]float64{3: 0.05} // one 20x-slower server
+		eng := cluster.New(cfg)
+		job := &Job{
+			Input:       input,
+			NewMapper:   wordCountMapper,
+			NewReduce:   func(int) ReduceLogic { return SumReduce() },
+			Cost:        cluster.AnalyticCost{T0: 1, Tr: 0.001, Tp: 0.001},
+			Seed:        5,
+			Speculation: spec,
+		}
+		return eng, job
+	}
+	engN, jobN := build(false)
+	noSpec, err := Run(engN, jobN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engS, jobS := build(true)
+	withSpec, err := Run(engS, jobS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withSpec.Counters.MapsSpeculated == 0 {
+		t.Fatal("expected speculative attempts against the slow server")
+	}
+	if withSpec.Runtime >= noSpec.Runtime {
+		t.Errorf("speculation should cut runtime: %v >= %v", withSpec.Runtime, noSpec.Runtime)
+	}
+	// Results identical either way.
+	for _, o := range withSpec.Outputs {
+		if o.Est.Value != want[o.Key] {
+			t.Errorf("%s = %v, want %v", o.Key, o.Est.Value, want[o.Key])
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+
+	"approxhadoop/internal/cluster"
+	"approxhadoop/internal/dfs"
+)
+
+// Job describes one MapReduce job. The zero values of optional fields
+// select sensible defaults (see Validate).
+type Job struct {
+	Name   string
+	Input  *dfs.File
+	Format InputFormat
+
+	// NewMapper builds one Mapper per map task attempt.
+	NewMapper func() Mapper
+	// NewMapperFor, when set, overrides NewMapper with a per-task
+	// factory. This is how user-defined approximation selects between
+	// precise and approximate map variants per task.
+	NewMapperFor func(taskID int) Mapper
+	// NewReduce builds the ReduceLogic for each reduce partition.
+	NewReduce func(partition int) ReduceLogic
+	// Reduces is the number of reduce tasks (default: one per server,
+	// matching the paper's configuration).
+	Reduces int
+
+	// Combine enables map-side combining: intermediate pairs are
+	// pre-aggregated per key into (count, sum, sumsq) before the
+	// shuffle. Lossless for aggregation reducers; reducers that need
+	// raw values (GEV, user reduce functions) must leave it off.
+	Combine bool
+
+	// Controller steers approximation; nil runs the job precisely.
+	Controller Controller
+	// Confidence for error bounds (default 0.95).
+	Confidence float64
+
+	// Cost converts measured task execution into virtual durations
+	// (default cluster.MeasuredCost{}).
+	Cost cluster.CostModel
+
+	// Seed drives task-order randomization and sampling.
+	Seed int64
+
+	// Barrier disables incremental reduces: outputs buffer until all
+	// maps finish (the stock-Hadoop ablation). Online error estimation
+	// is unavailable, so target-error controllers cannot make progress
+	// and user-specified-ratio jobs only get their bounds at the end.
+	Barrier bool
+
+	// SequentialOrder disables the random map-task order that
+	// multi-stage sampling requires (ablation only: biased block order
+	// invalidates the cluster-sampling assumptions).
+	SequentialOrder bool
+
+	// Speculation enables straggler duplicates: when no pending work
+	// remains, running maps slower than SpecFactor times the median
+	// completed duration are re-launched; the first attempt to finish
+	// wins.
+	Speculation bool
+	SpecFactor  float64 // default 2.0
+
+	// SleepIdle sends servers with no remaining map work to ACPI S3
+	// for the rest of the job (the paper's Section 5.4 energy mode).
+	SleepIdle bool
+
+	// Trace, when set, receives scheduling events in virtual-time
+	// order (launches, completions, kills, drops, speculation).
+	Trace Tracer
+
+	// OnSnapshot, when set together with SnapshotEvery > 0, receives
+	// the job's current cross-partition estimates every SnapshotEvery
+	// virtual seconds while maps are still running — the "online
+	// aggregation" early results of MapReduce Online (Condie et al.),
+	// which ApproxHadoop's barrier-less reduces make possible.
+	OnSnapshot    func(virtualTime float64, estimates []KeyEstimate)
+	SnapshotEvery float64
+}
+
+// Validate applies defaults and checks required fields.
+func (j *Job) Validate(eng *cluster.Engine) error {
+	if j.Input == nil || len(j.Input.Blocks) == 0 {
+		return errors.New("mapreduce: job has no input blocks")
+	}
+	if j.NewMapper == nil && j.NewMapperFor == nil {
+		return errors.New("mapreduce: job has no mapper")
+	}
+	if j.NewReduce == nil {
+		return errors.New("mapreduce: job has no reducer")
+	}
+	if j.Format == nil {
+		j.Format = TextInputFormat{}
+	}
+	if j.Reduces <= 0 {
+		j.Reduces = len(eng.Servers())
+	}
+	if rs := eng.TotalSlots(cluster.ReduceSlot); j.Reduces > rs {
+		return fmt.Errorf("mapreduce: %d reduces exceed %d reduce slots", j.Reduces, rs)
+	}
+	if j.Confidence <= 0 || j.Confidence >= 1 {
+		j.Confidence = 0.95
+	}
+	if j.Cost == nil {
+		j.Cost = cluster.MeasuredCost{}
+	}
+	if j.SpecFactor <= 1 {
+		j.SpecFactor = 2.0
+	}
+	if j.Name == "" {
+		j.Name = "job"
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package mapreduce
+
+import (
+	"hash/fnv"
+	"time"
+
+	"approxhadoop/internal/cluster"
+	"approxhadoop/internal/dfs"
+	"approxhadoop/internal/stats"
+)
+
+// Partition returns the reduce partition for a key: hash(key) mod R,
+// Hadoop's default HashPartitioner.
+func Partition(key string, reduces int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(reduces))
+}
+
+// mapResult is the in-memory product of executing one map task.
+type mapResult struct {
+	measure    cluster.TaskMeasure
+	partitions []*MapOutput // one per reduce partition
+	pairs      int64        // total pairs emitted
+}
+
+// mapEmitter partitions emitted pairs, optionally combining.
+type mapEmitter struct {
+	reduces int
+	combine bool
+	raw     [][]KV
+	comb    []map[string]stats.RunningStat
+	pairs   int64
+}
+
+func newMapEmitter(reduces int, combine bool) *mapEmitter {
+	e := &mapEmitter{reduces: reduces, combine: combine}
+	if combine {
+		e.comb = make([]map[string]stats.RunningStat, reduces)
+		for i := range e.comb {
+			e.comb[i] = make(map[string]stats.RunningStat)
+		}
+	} else {
+		e.raw = make([][]KV, reduces)
+	}
+	return e
+}
+
+// Emit implements Emitter.
+func (e *mapEmitter) Emit(key string, value float64) {
+	e.pairs++
+	p := Partition(key, e.reduces)
+	if e.combine {
+		rs := e.comb[p][key]
+		rs.Add(value)
+		e.comb[p][key] = rs
+		return
+	}
+	e.raw[p] = append(e.raw[p], KV{Key: key, Value: value})
+}
+
+// executeMap runs one map task attempt in-process: it opens the block
+// through the job's input format (applying the sampling ratio), feeds
+// every returned record to a fresh Mapper, and partitions the emitted
+// pairs. Timing is split into setup, read and process components so
+// cost models and the target-error controller can fit Equation 5.
+func executeMap(job *Job, block *dfs.Block, taskID int, ratio float64, seed int64) (*mapResult, error) {
+	setupStart := time.Now()
+	reader, err := job.Format.Open(block, ratio, seed)
+	if err != nil {
+		return nil, err
+	}
+	defer reader.Close()
+	var mapper Mapper
+	if job.NewMapperFor != nil {
+		mapper = job.NewMapperFor(taskID)
+	} else {
+		mapper = job.NewMapper()
+	}
+	emitter := newMapEmitter(job.Reduces, job.Combine)
+	setup := time.Since(setupStart).Seconds()
+
+	var procSecs float64
+	for {
+		rec, ok, err := reader.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		t := time.Now()
+		mapper.Map(rec, emitter)
+		procSecs += time.Since(t).Seconds()
+	}
+	rm := reader.Measure()
+	res := &mapResult{
+		measure: cluster.TaskMeasure{
+			Items:     rm.Items,
+			Processed: rm.Sampled,
+			Bytes:     rm.Bytes,
+			ReadSecs:  rm.ReadSecs,
+			ProcSecs:  procSecs,
+			SetupSecs: setup,
+		},
+		pairs: emitter.pairs,
+	}
+	res.partitions = make([]*MapOutput, job.Reduces)
+	for p := 0; p < job.Reduces; p++ {
+		out := &MapOutput{
+			TaskID:  taskID,
+			Items:   rm.Items,
+			Sampled: rm.Sampled,
+		}
+		if job.Combine {
+			out.Combined = emitter.comb[p]
+		} else {
+			out.Pairs = emitter.raw[p]
+		}
+		res.partitions[p] = out
+	}
+	return res, nil
+}

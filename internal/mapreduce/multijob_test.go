@@ -1,0 +1,48 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"approxhadoop/internal/cluster"
+)
+
+// TestSequentialJobsSharedTimeline runs two jobs on one engine: the
+// virtual clock and energy accounting continue across jobs, but each
+// Result reports only its own deltas.
+func TestSequentialJobsSharedTimeline(t *testing.T) {
+	input, _ := wordCountInput(t, 128)
+	eng := testEngine()
+	mk := func(name string) *Job {
+		return &Job{
+			Name:      name,
+			Input:     input,
+			NewMapper: wordCountMapper,
+			NewReduce: func(int) ReduceLogic { return SumReduce() },
+			Cost:      cluster.AnalyticCost{T0: 2, Tr: 0.001, Tp: 0.001},
+		}
+	}
+	first, err := Run(eng, mk("first"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	midClock := eng.Now()
+	second, err := Run(eng, mk("second"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Now() <= midClock {
+		t.Error("clock should advance across jobs")
+	}
+	// Deltas, not absolutes: both jobs are identical, so runtimes match.
+	if diff := first.Runtime - second.Runtime; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("identical jobs should report identical runtimes: %v vs %v",
+			first.Runtime, second.Runtime)
+	}
+	if second.EnergyWh <= 0 || first.EnergyWh <= 0 {
+		t.Error("per-job energy deltas should be positive")
+	}
+	// Results identical.
+	if len(first.Outputs) != len(second.Outputs) {
+		t.Error("outputs differ across identical jobs")
+	}
+}

@@ -1,0 +1,101 @@
+package mapreduce
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// This file is the analog of the paper's ApproxOutput: writers that
+// persist a job's estimates (value ± epsilon at the job's confidence)
+// in human-readable text, TSV, or JSON.
+
+// WriteText renders the result as an aligned human-readable report.
+func WriteText(w io.Writer, res *Result) error {
+	if _, err := fmt.Fprintf(w, "job %s: runtime %.1f s, energy %.2f Wh, maps %d/%d completed (%d dropped, %d killed, %d failed)\n",
+		res.Job, res.Runtime, res.EnergyWh,
+		res.Counters.MapsCompleted, res.Counters.MapsTotal,
+		res.Counters.MapsDropped, res.Counters.MapsKilled, res.Counters.MapsFailed); err != nil {
+		return err
+	}
+	for _, o := range res.Outputs {
+		var err error
+		switch {
+		case o.Exact:
+			_, err = fmt.Fprintf(w, "%s\t%g\t(exact)\n", o.Key, o.Est.Value)
+		case math.IsNaN(o.Est.Err):
+			_, err = fmt.Fprintf(w, "%s\t%g\t(unbounded)\n", o.Key, o.Est.Value)
+		default:
+			_, err = fmt.Fprintf(w, "%s\t%g\t± %g (%.0f%% conf)\n", o.Key, o.Est.Value, o.Est.Err, o.Est.Conf*100)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTSV writes one "key <TAB> value <TAB> epsilon <TAB> confidence"
+// line per output. Unbounded estimates carry "NaN" epsilons.
+func WriteTSV(w io.Writer, res *Result) error {
+	for _, o := range res.Outputs {
+		if _, err := fmt.Fprintf(w, "%s\t%g\t%g\t%g\n", o.Key, o.Est.Value, o.Est.Err, o.Est.Conf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonOutput is the serialized form of one output key.
+type jsonOutput struct {
+	Key        string  `json:"key"`
+	Value      float64 `json:"value"`
+	Epsilon    float64 `json:"epsilon"`             // half-width; -1 when unbounded
+	Confidence float64 `json:"confidence"`          // e.g. 0.95
+	Exact      bool    `json:"exact"`               // computed from complete data
+	Lo         float64 `json:"lo"`                  // interval bounds
+	Hi         float64 `json:"hi"`                  //
+	Unbounded  bool    `json:"unbounded,omitempty"` // no error estimation applies
+}
+
+// jsonResult is the serialized form of a Result.
+type jsonResult struct {
+	Job      string       `json:"job"`
+	Runtime  float64      `json:"runtimeSecs"`
+	EnergyWh float64      `json:"energyWh"`
+	Counters Counters     `json:"counters"`
+	Outputs  []jsonOutput `json:"outputs"`
+}
+
+// WriteJSON serializes the result, mapping non-finite epsilons to the
+// JSON-safe sentinel -1 with Unbounded set.
+func WriteJSON(w io.Writer, res *Result) error {
+	jr := jsonResult{
+		Job:      res.Job,
+		Runtime:  res.Runtime,
+		EnergyWh: res.EnergyWh,
+		Counters: res.Counters,
+	}
+	for _, o := range res.Outputs {
+		jo := jsonOutput{
+			Key:        o.Key,
+			Value:      o.Est.Value,
+			Epsilon:    o.Est.Err,
+			Confidence: o.Est.Conf,
+			Exact:      o.Exact,
+			Lo:         o.Est.Lo(),
+			Hi:         o.Est.Hi(),
+		}
+		if math.IsNaN(jo.Epsilon) || math.IsInf(jo.Epsilon, 0) {
+			jo.Epsilon = -1
+			jo.Lo = jo.Value
+			jo.Hi = jo.Value
+			jo.Unbounded = true
+		}
+		jr.Outputs = append(jr.Outputs, jo)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jr)
+}

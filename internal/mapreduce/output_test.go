@@ -1,0 +1,90 @@
+package mapreduce
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"approxhadoop/internal/stats"
+)
+
+func sampleResult() *Result {
+	return &Result{
+		Job:      "test",
+		Runtime:  12.5,
+		EnergyWh: 3.25,
+		Counters: Counters{MapsTotal: 4, MapsCompleted: 3, MapsDropped: 1},
+		Outputs: []KeyEstimate{
+			{Key: "alpha", Est: stats.Estimate{Value: 100, Err: 5, Conf: 0.95}},
+			{Key: "beta", Est: stats.Estimate{Value: 7}, Exact: true},
+			{Key: "gamma", Est: stats.Estimate{Value: 2, Err: math.NaN()}},
+		},
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"job test", "12.5 s", "alpha\t100\t± 5 (95% conf)",
+		"beta\t7\t(exact)", "gamma\t2\t(unbounded)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "alpha\t100\t5\t0.95" {
+		t.Errorf("tsv line = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "NaN") {
+		t.Errorf("unbounded should serialize as NaN: %q", lines[2])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Job     string `json:"job"`
+		Outputs []struct {
+			Key       string  `json:"key"`
+			Epsilon   float64 `json:"epsilon"`
+			Unbounded bool    `json:"unbounded"`
+			Lo        float64 `json:"lo"`
+			Hi        float64 `json:"hi"`
+			Exact     bool    `json:"exact"`
+		} `json:"outputs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if parsed.Job != "test" || len(parsed.Outputs) != 3 {
+		t.Fatalf("parsed: %+v", parsed)
+	}
+	if parsed.Outputs[0].Lo != 95 || parsed.Outputs[0].Hi != 105 {
+		t.Errorf("alpha interval: %+v", parsed.Outputs[0])
+	}
+	if !parsed.Outputs[1].Exact {
+		t.Error("beta should be exact")
+	}
+	g := parsed.Outputs[2]
+	if !g.Unbounded || g.Epsilon != -1 {
+		t.Errorf("gamma should be unbounded sentinel: %+v", g)
+	}
+}

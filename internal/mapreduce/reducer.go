@@ -1,0 +1,114 @@
+package mapreduce
+
+import (
+	"math"
+	"sort"
+
+	"approxhadoop/internal/stats"
+)
+
+// PreciseReduce adapts a classic Hadoop-style reduce function — called
+// once per key with all its values — to the incremental ReduceLogic
+// interface. It buffers values per key and applies the function at
+// finalize time. When the job sampled or dropped anything, the result
+// carries an unknown (NaN) error bound, matching the paper: arbitrary
+// programs can be approximated, but ApproxHadoop cannot bound their
+// error (Section 1).
+type PreciseReduce struct {
+	fn     func(key string, values []float64) float64
+	values map[string][]float64
+	approx bool // sampling or dropping observed
+}
+
+// NewPreciseReduce wraps a classic reduce function.
+func NewPreciseReduce(fn func(key string, values []float64) float64) *PreciseReduce {
+	return &PreciseReduce{fn: fn, values: make(map[string][]float64)}
+}
+
+// Consume implements ReduceLogic.
+func (r *PreciseReduce) Consume(out *MapOutput) {
+	if out.Sampled < out.Items {
+		r.approx = true
+	}
+	for _, kv := range out.Pairs {
+		r.values[kv.Key] = append(r.values[kv.Key], kv.Value)
+	}
+	for key, rs := range out.Combined {
+		// Combined outputs lose individual values; surface the sum,
+		// which is correct for combiner-safe (associative) functions.
+		r.values[key] = append(r.values[key], rs.Sum)
+	}
+}
+
+// Estimates implements ReduceLogic; precise reduces cannot estimate
+// mid-flight, so it returns nil.
+func (r *PreciseReduce) Estimates(EstimateView) []KeyEstimate { return nil }
+
+// Finalize implements ReduceLogic.
+func (r *PreciseReduce) Finalize(view EstimateView) []KeyEstimate {
+	approx := r.approx || view.Dropped > 0
+	out := make([]KeyEstimate, 0, len(r.values))
+	for key, vals := range r.values {
+		ke := KeyEstimate{Key: key, Exact: !approx}
+		ke.Est = stats.Estimate{Value: r.fn(key, vals), Conf: view.Confidence}
+		if approx {
+			ke.Est.Err = math.NaN()
+			ke.Est.StdErr = math.NaN()
+		}
+		out = append(out, ke)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// SumReduce returns a PreciseReduce that sums each key's values — the
+// standard Hadoop sum reducer used by precise baselines.
+func SumReduce() *PreciseReduce {
+	return NewPreciseReduce(func(_ string, vals []float64) float64 {
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		return s
+	})
+}
+
+// MeanReduce returns a PreciseReduce averaging each key's values.
+func MeanReduce() *PreciseReduce {
+	return NewPreciseReduce(func(_ string, vals []float64) float64 {
+		if len(vals) == 0 {
+			return 0
+		}
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		return s / float64(len(vals))
+	})
+}
+
+// MinReduce returns a PreciseReduce taking each key's minimum.
+func MinReduce() *PreciseReduce {
+	return NewPreciseReduce(func(_ string, vals []float64) float64 {
+		m := math.Inf(1)
+		for _, v := range vals {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	})
+}
+
+// MaxReduce returns a PreciseReduce taking each key's maximum.
+func MaxReduce() *PreciseReduce {
+	return NewPreciseReduce(func(_ string, vals []float64) float64 {
+		m := math.Inf(-1)
+		for _, v := range vals {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	})
+}

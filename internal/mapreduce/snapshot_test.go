@@ -1,0 +1,82 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"approxhadoop/internal/cluster"
+	"approxhadoop/internal/stats"
+)
+
+// snapshotLogic is a minimal ReduceLogic with online estimates.
+type snapshotLogic struct{ sum float64 }
+
+func (s *snapshotLogic) Consume(out *MapOutput) {
+	for _, kv := range out.Pairs {
+		s.sum += kv.Value
+	}
+}
+
+func (s *snapshotLogic) Estimates(EstimateView) []KeyEstimate {
+	return []KeyEstimate{{Key: "sum", Est: stats.Estimate{Value: s.sum}}}
+}
+
+func (s *snapshotLogic) Finalize(view EstimateView) []KeyEstimate {
+	return s.Estimates(view)
+}
+
+func TestOnlineSnapshots(t *testing.T) {
+	input, _ := wordCountInput(t, 64)
+	var times []float64
+	var lastSum float64
+	job := &Job{
+		Input:     input,
+		NewMapper: wordCountMapper,
+		NewReduce: func(int) ReduceLogic { return &snapshotLogic{} },
+		Reduces:   1,
+		Cost:      cluster.AnalyticCost{T0: 5, Tr: 0.01, Tp: 0.01},
+		OnSnapshot: func(at float64, ests []KeyEstimate) {
+			times = append(times, at)
+			if len(ests) > 0 {
+				if ests[0].Est.Value < lastSum {
+					t.Errorf("snapshot sum went backwards: %v -> %v", lastSum, ests[0].Est.Value)
+				}
+				lastSum = ests[0].Est.Value
+			}
+		},
+		SnapshotEvery: 3,
+	}
+	res, err := Run(testEngine(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) < 2 {
+		t.Fatalf("expected multiple snapshots, got %d", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			t.Fatal("snapshot times must increase")
+		}
+	}
+	if lastSum <= 0 || res.Runtime <= 0 {
+		t.Errorf("snapshots never observed progress: sum=%v", lastSum)
+	}
+}
+
+func TestSnapshotsDisabledUnderBarrier(t *testing.T) {
+	input, _ := wordCountInput(t, 256)
+	called := false
+	job := &Job{
+		Input:         input,
+		NewMapper:     wordCountMapper,
+		NewReduce:     func(int) ReduceLogic { return SumReduce() },
+		Barrier:       true,
+		OnSnapshot:    func(float64, []KeyEstimate) { called = true },
+		SnapshotEvery: 1,
+	}
+	if _, err := Run(testEngine(), job); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("barrier mode has no online estimates; snapshots must not fire")
+	}
+}

@@ -1,0 +1,68 @@
+package mapreduce
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"approxhadoop/internal/dfs"
+)
+
+// TextInputFormat parses a block into one record per line, like
+// Hadoop's TextInputFormat. It is precise: every line is returned and
+// the sampleRatio argument is ignored. The approximation-aware
+// counterpart lives in the approx package (ApproxTextInput).
+type TextInputFormat struct{}
+
+// Open implements InputFormat.
+func (TextInputFormat) Open(b *dfs.Block, _ float64, _ int64) (RecordReader, error) {
+	if b == nil {
+		return nil, fmt.Errorf("mapreduce: nil block")
+	}
+	rc := b.Open()
+	return &textReader{
+		keyPrefix: b.ID() + ":",
+		rc:        rc,
+		scan:      newLineScanner(rc),
+	}, nil
+}
+
+// newLineScanner builds a scanner with a generous line-length cap.
+func newLineScanner(r io.Reader) *bufio.Scanner {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 64<<10), 16<<20)
+	return s
+}
+
+type textReader struct {
+	keyPrefix string
+	rc        io.ReadCloser
+	scan      *bufio.Scanner
+	m         ReaderMeasure
+	keyBuf    []byte
+}
+
+func (t *textReader) Next() (Record, bool, error) {
+	start := time.Now()
+	if !t.scan.Scan() {
+		t.m.ReadSecs += time.Since(start).Seconds()
+		if err := t.scan.Err(); err != nil {
+			return Record{}, false, fmt.Errorf("mapreduce: reading %s: %w", t.keyPrefix, err)
+		}
+		return Record{}, false, nil
+	}
+	line := t.scan.Text()
+	t.m.Items++
+	t.m.Sampled++
+	t.m.Bytes += int64(len(line)) + 1
+	t.keyBuf = append(t.keyBuf[:0], t.keyPrefix...)
+	t.keyBuf = strconv.AppendInt(t.keyBuf, t.m.Items-1, 10)
+	t.m.ReadSecs += time.Since(start).Seconds()
+	return Record{Key: string(t.keyBuf), Value: line}, true, nil
+}
+
+func (t *textReader) Measure() ReaderMeasure { return t.m }
+
+func (t *textReader) Close() error { return t.rc.Close() }

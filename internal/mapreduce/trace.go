@@ -1,0 +1,68 @@
+package mapreduce
+
+import "fmt"
+
+// EventKind classifies job trace events.
+type EventKind int
+
+// Trace event kinds.
+const (
+	EventMapLaunched EventKind = iota
+	EventMapCompleted
+	EventMapKilled
+	EventMapDropped
+	EventMapSpeculated
+	EventMapFailed
+	EventReduceFinished
+	EventJobCompleted
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventMapLaunched:
+		return "map-launched"
+	case EventMapCompleted:
+		return "map-completed"
+	case EventMapKilled:
+		return "map-killed"
+	case EventMapDropped:
+		return "map-dropped"
+	case EventMapSpeculated:
+		return "map-speculated"
+	case EventMapFailed:
+		return "map-failed"
+	case EventReduceFinished:
+		return "reduce-finished"
+	case EventJobCompleted:
+		return "job-completed"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one entry in a job's execution trace.
+type Event struct {
+	Kind   EventKind
+	Time   float64 // virtual seconds
+	Task   int     // map task index or reduce partition (-1 if n/a)
+	Server string  // server involved ("" if n/a)
+	Ratio  float64 // sampling ratio for launches
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("t=%.3f %s task=%d server=%s ratio=%.3g",
+		e.Time, e.Kind, e.Task, e.Server, e.Ratio)
+}
+
+// Tracer receives job execution events in virtual-time order. Assign
+// one to Job.Trace to observe scheduling decisions (used by tests and
+// available for debugging).
+type Tracer func(Event)
+
+// emit sends an event to the job's tracer, if any.
+func (t *tracker) emit(kind EventKind, task int, server string, ratio float64) {
+	if t.job.Trace == nil {
+		return
+	}
+	t.job.Trace(Event{Kind: kind, Time: t.eng.Now(), Task: task, Server: server, Ratio: ratio})
+}

@@ -1,0 +1,667 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"approxhadoop/internal/cluster"
+	"approxhadoop/internal/dfs"
+	"approxhadoop/internal/stats"
+)
+
+// taskState tracks the lifecycle of one logical map task.
+type taskState int
+
+const (
+	taskPending taskState = iota
+	taskRunning
+	taskDone
+	taskDropped
+)
+
+// reduceTask is the runtime state of one reduce partition.
+type reduceTask struct {
+	partition int
+	logic     ReduceLogic
+	server    *cluster.Server
+	handle    *cluster.RunningTask
+	busyUntil float64      // virtual time the reduce is busy through
+	buffered  []*MapOutput // barrier mode only
+	pairs     int64
+	outputs   []KeyEstimate
+}
+
+// tracker is the JobTracker: it owns all scheduling state for one job.
+type tracker struct {
+	eng *cluster.Engine
+	job *Job
+
+	blocks  []*dfs.Block
+	order   []int // launch order (random unless SequentialOrder)
+	nextOrd int
+	retry   []int // failed tasks awaiting re-execution
+
+	state     []taskState
+	ratios    []float64                      // sampling ratio used per task
+	attempts  map[int][]*cluster.RunningTask // running attempts per task
+	durations []float64                      // virtual durations of completed attempts
+
+	reduces     []*reduceTask
+	reducesLeft int
+
+	measures  []cluster.TaskMeasure
+	counters  Counters
+	launched  int
+	completed int
+	dropped   int
+	maxLaunch int     // 0 = unlimited
+	curRatio  float64 // ratio when controller declines to specify
+
+	realSecs    float64
+	fillQueued  bool
+	finalizing  bool
+	failErr     error
+	result      *Result
+	startTime   float64
+	startEnergy float64
+	startBreak  cluster.EnergyBreakdown
+}
+
+// Run executes job on the simulated cluster and returns its result.
+// The engine's virtual clock and energy accounting continue from their
+// current values, so several jobs can share a timeline; most callers
+// use a fresh engine per job.
+func Run(eng *cluster.Engine, job *Job) (*Result, error) {
+	if err := job.Validate(eng); err != nil {
+		return nil, err
+	}
+	t := &tracker{
+		eng:      eng,
+		job:      job,
+		blocks:   job.Input.Blocks,
+		attempts: make(map[int][]*cluster.RunningTask),
+		curRatio: 1,
+	}
+	n := len(t.blocks)
+	t.state = make([]taskState, n)
+	t.ratios = make([]float64, n)
+	t.counters.MapsTotal = n
+
+	rng := stats.NewRand(job.Seed)
+	if job.SequentialOrder {
+		t.order = make([]int, n)
+		for i := range t.order {
+			t.order[i] = i
+		}
+	} else {
+		// Random task order is required for the sampled map tasks to
+		// form a valid first-stage cluster sample (Section 4.3).
+		t.order = rng.Perm(n)
+	}
+
+	t.startTime = eng.Now()
+	t.startEnergy = eng.EnergyWh()
+	t.startBreak = eng.EnergyBreakdown()
+	if err := t.startReduces(); err != nil {
+		return nil, err
+	}
+	if job.OnSnapshot != nil && job.SnapshotEvery > 0 && !job.Barrier {
+		eng.After(job.SnapshotEvery, t.snapshotTick)
+	}
+	eng.At(eng.Now(), t.fill)
+	eng.Run()
+	if t.failErr != nil {
+		return nil, t.failErr
+	}
+	if t.result == nil {
+		return nil, fmt.Errorf("mapreduce: job %q did not complete", job.Name)
+	}
+	return t.result, nil
+}
+
+// startReduces places one reduce task per partition on servers with
+// free reduce slots, round-robin.
+func (t *tracker) startReduces() error {
+	servers := t.eng.Servers()
+	si := 0
+	for p := 0; p < t.job.Reduces; p++ {
+		var srv *cluster.Server
+		for scan := 0; scan < len(servers); scan++ {
+			cand := servers[si%len(servers)]
+			si++
+			if cand.FreeSlots(cluster.ReduceSlot) > 0 {
+				srv = cand
+				break
+			}
+		}
+		if srv == nil {
+			return fmt.Errorf("mapreduce: no reduce slot for partition %d", p)
+		}
+		r := &reduceTask{partition: p, logic: t.job.NewReduce(p), server: srv}
+		part := p
+		r.handle = t.eng.StartOpenTask(srv, cluster.ReduceSlot, func(killed bool) {
+			if killed {
+				// Reduce state is not replicated; losing its server
+				// loses the partition (documented limitation).
+				t.fail(fmt.Errorf("mapreduce: reduce partition %d lost to server failure", part))
+			}
+		})
+		t.reduces = append(t.reduces, r)
+	}
+	t.reducesLeft = len(t.reduces)
+	return nil
+}
+
+// scheduleFill queues a scheduling pass at the current virtual time;
+// passes are deduplicated so nested callbacks stay simple.
+func (t *tracker) scheduleFill() {
+	if t.fillQueued || t.failErr != nil {
+		return
+	}
+	t.fillQueued = true
+	t.eng.At(t.eng.Now(), func() {
+		t.fillQueued = false
+		t.fill()
+	})
+}
+
+// fill launches pending map tasks onto free slots, consults the
+// controller, runs speculation, applies S3 policy, and checks for job
+// completion.
+func (t *tracker) fill() {
+	if t.failErr != nil || t.finalizing {
+		return
+	}
+	// Re-execute tasks lost to server failures before new work, at
+	// their original sampling ratio (Hadoop re-runs failed tasks
+	// without consulting the job's approximation settings again).
+	for len(t.retry) > 0 {
+		idx := t.retry[0]
+		if t.state[idx] != taskPending {
+			t.retry = t.retry[1:]
+			continue
+		}
+		srv := t.pickServer(t.blocks[idx])
+		if srv == nil {
+			if !t.anyServerAlive() {
+				t.fail(fmt.Errorf("mapreduce: all servers failed with tasks outstanding"))
+			}
+			return
+		}
+		ratio := t.ratios[idx]
+		if ratio == 0 {
+			ratio = 1
+		}
+		t.retry = t.retry[1:]
+		t.launch(idx, srv, ratio)
+		if t.failErr != nil {
+			return
+		}
+	}
+	for t.nextOrd < len(t.order) {
+		idx := t.order[t.nextOrd]
+		if t.state[idx] != taskPending {
+			t.nextOrd++
+			continue
+		}
+		if t.maxLaunch > 0 && t.launched >= t.maxLaunch {
+			t.dropAllPending()
+			break
+		}
+		ratio := t.curRatio
+		if t.job.Controller != nil {
+			r, action := t.job.Controller.Plan(t.view())
+			if action == PlanDefer && t.runningCount() == 0 {
+				// Safety net: a defer with nothing in flight would
+				// stall the job forever; run the task instead.
+				action = PlanRun
+			}
+			switch action {
+			case PlanDrop:
+				t.dropTask(idx)
+				t.nextOrd++
+				continue
+			case PlanDefer:
+				t.maybeSpeculate()
+				t.checkCompletion()
+				return
+			}
+			if r > 0 {
+				ratio = r
+			}
+		}
+		srv := t.pickServer(t.blocks[idx])
+		if srv == nil {
+			break // no free map slots anywhere
+		}
+		t.launch(idx, srv, ratio)
+		if t.failErr != nil {
+			return
+		}
+		t.nextOrd++
+	}
+	t.maybeSpeculate()
+	t.maybeSleepIdle()
+	t.checkCompletion()
+}
+
+// pickServer chooses a server with a free map slot, preferring the
+// block's replica holders (data locality, like Hadoop's JobTracker).
+func (t *tracker) pickServer(b *dfs.Block) *cluster.Server {
+	var fallback *cluster.Server
+	for _, s := range t.eng.Servers() {
+		if s.FreeSlots(cluster.MapSlot) <= 0 {
+			continue
+		}
+		for _, rep := range b.Replicas {
+			if rep == s.ID {
+				return s
+			}
+		}
+		if fallback == nil {
+			fallback = s
+		}
+	}
+	return fallback
+}
+
+// launch executes a map task attempt in-process and schedules its
+// completion on the virtual timeline.
+func (t *tracker) launch(idx int, srv *cluster.Server, ratio float64) {
+	if ratio <= 0 || ratio > 1 {
+		ratio = 1
+	}
+	t.ratios[idx] = ratio
+	res, err := executeMap(t.job, t.blocks[idx], idx, ratio, t.job.Seed*1000003+int64(idx))
+	if err != nil {
+		t.fail(err)
+		return
+	}
+	t.realSecs += res.measure.RealSecs()
+	dur := t.eng.PerturbDuration(t.job.Cost.MapDuration(res.measure))
+	t.state[idx] = taskRunning
+	t.launched++
+	t.emit(EventMapLaunched, idx, srv.ID, ratio)
+	var handle *cluster.RunningTask
+	handle = t.eng.StartTask(srv, cluster.MapSlot, dur, func(killed bool) {
+		t.onMapDone(idx, handle, res, killed)
+	})
+	t.attempts[idx] = append(t.attempts[idx], handle)
+}
+
+// onMapDone handles completion or kill of one map attempt.
+func (t *tracker) onMapDone(idx int, handle *cluster.RunningTask, res *mapResult, killed bool) {
+	if t.failErr != nil {
+		return
+	}
+	// Remove this attempt from the task's running set.
+	live := t.attempts[idx][:0]
+	for _, a := range t.attempts[idx] {
+		if a != handle {
+			live = append(live, a)
+		}
+	}
+	t.attempts[idx] = live
+
+	if killed {
+		if handle.Server.Dead() && t.state[idx] == taskRunning {
+			// Lost to a server failure, not a deliberate kill:
+			// re-execute (fault tolerance), unless a sibling attempt
+			// is still running.
+			t.counters.MapsFailed++
+			t.emit(EventMapFailed, idx, handle.Server.ID, 0)
+			if len(live) == 0 {
+				t.state[idx] = taskPending
+				t.retry = append(t.retry, idx)
+			}
+			t.scheduleFill()
+			return
+		}
+		t.counters.MapsKilled++
+		t.emit(EventMapKilled, idx, handle.Server.ID, 0)
+		if t.state[idx] == taskRunning && len(live) == 0 {
+			// Killed with no surviving attempt: the task is dropped.
+			t.state[idx] = taskDropped
+			t.dropped++
+		}
+		t.scheduleFill()
+		return
+	}
+	if t.state[idx] == taskDone {
+		// A speculative sibling already delivered; discard.
+		t.scheduleFill()
+		return
+	}
+	t.state[idx] = taskDone
+	// Forget remaining attempts before killing them: the nested kill
+	// callbacks must not re-filter the slice we are iterating.
+	t.attempts[idx] = nil
+	t.completed++
+	t.emit(EventMapCompleted, idx, handle.Server.ID, t.ratios[idx])
+	t.durations = append(t.durations, handle.Finish-handle.Start)
+	t.measures = append(t.measures, res.measure)
+	t.counters.MapsCompleted++
+	t.counters.ItemsTotal += res.measure.Items
+	t.counters.ItemsProcessed += res.measure.Processed
+	t.counters.BytesRead += res.measure.Bytes
+	t.counters.PairsShuffled += res.pairs
+	// Kill losing speculative siblings.
+	for _, a := range live {
+		t.eng.Kill(a)
+	}
+	// Shuffle this task's outputs to every partition (the zero-pair
+	// partitions still need the cluster's (M, m) for Equation 3).
+	for p, out := range res.partitions {
+		t.deliver(t.reduces[p], out)
+	}
+	if t.job.Controller != nil {
+		t.applyDirective(t.job.Controller.Completed(t.view()))
+	}
+	t.scheduleFill()
+}
+
+// deliver hands one map output to a reduce task, accounting its
+// processing cost on the virtual timeline (incremental mode) or
+// buffering it (barrier mode).
+func (t *tracker) deliver(r *reduceTask, out *MapOutput) {
+	if t.job.Barrier {
+		r.buffered = append(r.buffered, out)
+		return
+	}
+	t.consume(r, out)
+}
+
+func (t *tracker) consume(r *reduceTask, out *MapOutput) {
+	start := time.Now()
+	r.logic.Consume(out)
+	secs := time.Since(start).Seconds()
+	t.realSecs += secs
+	n := int64(len(out.Pairs)) + int64(len(out.Combined))
+	r.pairs += n
+	cost := t.job.Cost.ReduceDuration(n, secs)
+	now := t.eng.Now()
+	if r.busyUntil < now {
+		r.busyUntil = now
+	}
+	r.busyUntil += cost
+}
+
+// applyDirective enacts a controller decision.
+func (t *tracker) applyDirective(d Directive) {
+	if d.SampleRatio > 0 {
+		t.curRatio = math.Min(d.SampleRatio, 1)
+	}
+	if d.MaxLaunch > 0 {
+		t.maxLaunch = d.MaxLaunch
+	}
+	if d.DropPending {
+		t.dropAllPending()
+	}
+	if d.KillRunning {
+		for idx := range t.attempts {
+			for _, a := range t.attempts[idx] {
+				t.eng.Kill(a)
+			}
+		}
+	}
+}
+
+func (t *tracker) dropTask(idx int) {
+	if t.state[idx] != taskPending {
+		return
+	}
+	t.state[idx] = taskDropped
+	t.dropped++
+	t.counters.MapsDropped++
+	t.emit(EventMapDropped, idx, "", 0)
+}
+
+func (t *tracker) dropAllPending() {
+	for idx, st := range t.state {
+		if st == taskPending {
+			t.dropTask(idx)
+		}
+	}
+}
+
+// maybeSpeculate launches duplicates of straggling maps when slots are
+// idle and no pending work remains (Hadoop's speculative execution).
+func (t *tracker) maybeSpeculate() {
+	if !t.job.Speculation || t.pendingCount() > 0 || len(t.durations) < 3 {
+		return
+	}
+	med := stats.Percentile(t.durations, 50)
+	threshold := t.job.SpecFactor * med
+	now := t.eng.Now()
+	for idx, st := range t.state {
+		if st != taskRunning || len(t.attempts[idx]) != 1 {
+			continue
+		}
+		a := t.attempts[idx][0]
+		if now-a.Start <= threshold {
+			continue
+		}
+		srv := t.pickServer(t.blocks[idx])
+		if srv == nil {
+			return
+		}
+		res, err := executeMap(t.job, t.blocks[idx], idx, t.ratios[idx], t.job.Seed*1000003+int64(idx))
+		if err != nil {
+			t.fail(err)
+			return
+		}
+		t.realSecs += res.measure.RealSecs()
+		// A speculative re-execution does not re-roll the straggler
+		// dice with the same bad luck; use the unperturbed duration.
+		dur := t.job.Cost.MapDuration(res.measure)
+		t.counters.MapsSpeculated++
+		t.emit(EventMapSpeculated, idx, srv.ID, t.ratios[idx])
+		var handle *cluster.RunningTask
+		handle = t.eng.StartTask(srv, cluster.MapSlot, dur, func(killed bool) {
+			t.onMapDone(idx, handle, res, killed)
+		})
+		t.attempts[idx] = append(t.attempts[idx], handle)
+	}
+}
+
+// maybeSleepIdle powers down servers with no running work once no map
+// launches remain (Section 5.4: dropping maps saves energy even when it
+// cannot shorten a single-wave job).
+func (t *tracker) maybeSleepIdle() {
+	if !t.job.SleepIdle || t.pendingCount() > 0 {
+		return
+	}
+	for _, s := range t.eng.Servers() {
+		if !s.Asleep() && s.Busy(cluster.MapSlot) == 0 && s.Busy(cluster.ReduceSlot) == 0 {
+			_ = t.eng.Sleep(s)
+		}
+	}
+}
+
+// anyServerAlive reports whether at least one server can still host
+// map tasks.
+func (t *tracker) anyServerAlive() bool {
+	for _, s := range t.eng.Servers() {
+		if !s.Dead() {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *tracker) pendingCount() int {
+	n := 0
+	for _, st := range t.state {
+		if st == taskPending {
+			n++
+		}
+	}
+	return n
+}
+
+func (t *tracker) runningCount() int {
+	n := 0
+	for _, st := range t.state {
+		if st == taskRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// checkCompletion finalizes the reduces once every map task is done or
+// dropped and no attempts remain in flight.
+func (t *tracker) checkCompletion() {
+	if t.finalizing || t.failErr != nil {
+		return
+	}
+	if t.pendingCount() > 0 || t.runningCount() > 0 {
+		return
+	}
+	t.finalizing = true
+	t.counters.Waves = t.waves()
+	view := t.estView()
+	for _, r := range t.reduces {
+		r := r
+		if t.job.Barrier {
+			for _, out := range r.buffered {
+				t.consume(r, out)
+			}
+			r.buffered = nil
+		}
+		start := time.Now()
+		outs := r.logic.Finalize(view)
+		fSecs := time.Since(start).Seconds()
+		t.realSecs += fSecs
+		r.outputs = outs
+		finish := math.Max(t.eng.Now(), r.busyUntil) + t.job.Cost.ReduceDuration(0, fSecs)
+		t.eng.At(finish, func() {
+			t.eng.FinishTask(r.handle)
+			t.emit(EventReduceFinished, r.partition, r.server.ID, 0)
+			t.reducesLeft--
+			if t.reducesLeft == 0 {
+				t.completeJob()
+			}
+		})
+	}
+}
+
+// waves estimates how many waves of map tasks the job ran.
+func (t *tracker) waves() int {
+	slots := t.eng.TotalSlots(cluster.MapSlot)
+	if slots == 0 || t.launched == 0 {
+		return 0
+	}
+	return (t.launched + slots - 1) / slots
+}
+
+// completeJob assembles the final Result.
+func (t *tracker) completeJob() {
+	var outputs []KeyEstimate
+	for _, r := range t.reduces {
+		outputs = append(outputs, r.outputs...)
+	}
+	sort.Slice(outputs, func(i, j int) bool { return outputs[i].Key < outputs[j].Key })
+	t.emit(EventJobCompleted, -1, "", 0)
+	endBreak := t.eng.EnergyBreakdown()
+	t.result = &Result{
+		Job:      t.job.Name,
+		Outputs:  outputs,
+		Runtime:  t.eng.Now() - t.startTime,
+		EnergyWh: t.eng.EnergyWh() - t.startEnergy,
+		Energy: cluster.EnergyBreakdown{
+			BusyJ:  endBreak.BusyJ - t.startBreak.BusyJ,
+			IdleJ:  endBreak.IdleJ - t.startBreak.IdleJ,
+			SleepJ: endBreak.SleepJ - t.startBreak.SleepJ,
+		},
+		Counters: t.counters,
+		RealSecs: t.realSecs,
+	}
+}
+
+// fail aborts the job: running attempts are killed and pending tasks
+// dropped so the event queue drains.
+func (t *tracker) fail(err error) {
+	if t.failErr != nil {
+		return
+	}
+	t.failErr = err
+	for idx := range t.attempts {
+		for _, a := range t.attempts[idx] {
+			t.eng.Kill(a)
+		}
+	}
+	for _, r := range t.reduces {
+		t.eng.FinishTask(r.handle)
+	}
+}
+
+// estView builds the EstimateView reduces evaluate against.
+func (t *tracker) estView() EstimateView {
+	return EstimateView{
+		TotalMaps:  len(t.blocks),
+		Consumed:   t.completed,
+		Dropped:    t.dropped,
+		Confidence: t.job.Confidence,
+	}
+}
+
+// snapshotTick delivers a periodic early-results snapshot and
+// re-arms itself while the job is still running.
+func (t *tracker) snapshotTick() {
+	if t.finalizing || t.failErr != nil || t.result != nil {
+		return
+	}
+	t.job.OnSnapshot(t.eng.Now()-t.startTime, t.snapshot())
+	t.eng.After(t.job.SnapshotEvery, t.snapshotTick)
+}
+
+// snapshot concatenates the current estimates from every partition.
+func (t *tracker) snapshot() []KeyEstimate {
+	if t.job.Barrier {
+		return nil
+	}
+	view := t.estView()
+	var all []KeyEstimate
+	for _, r := range t.reduces {
+		all = append(all, r.logic.Estimates(view)...)
+	}
+	return all
+}
+
+// view builds the controller's JobView.
+func (t *tracker) view() *JobView {
+	avgItems := 0.0
+	if len(t.measures) > 0 {
+		var s int64
+		for _, m := range t.measures {
+			s += m.Items
+		}
+		avgItems = float64(s) / float64(len(t.measures))
+	}
+	return &JobView{
+		TotalMaps:     len(t.blocks),
+		TotalMapSlots: t.eng.TotalSlots(cluster.MapSlot),
+		Launched:      t.launched,
+		Completed:     t.completed,
+		Dropped:       t.dropped,
+		Running:       t.runningCount(),
+		Pending:       t.pendingCount(),
+		Confidence:    t.job.Confidence,
+		Measures:      t.measures,
+		Estimates:     t.snapshot,
+		Logics: func() []ReduceLogic {
+			logics := make([]ReduceLogic, len(t.reduces))
+			for i, r := range t.reduces {
+				logics[i] = r.logic
+			}
+			return logics
+		},
+		CostParams: func() (float64, float64, float64) {
+			return t.job.Cost.Params(t.measures)
+		},
+		AvgItems: avgItems,
+	}
+}

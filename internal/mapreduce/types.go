@@ -1,0 +1,254 @@
+// Package mapreduce implements a Hadoop-style MapReduce framework on
+// top of the dfs and cluster packages: a JobTracker schedules one map
+// task per input block onto simulated TaskTracker slots (locality
+// aware), map outputs are hash-partitioned and shuffled to reduce
+// tasks, and reduce tasks consume outputs either incrementally
+// (barrier-less, following Verma et al., which ApproxHadoop requires
+// for online error estimation) or after a conventional barrier.
+//
+// The approximation hooks are exactly the paper's Section 4.3
+// modifications: map tasks run in random order, a Controller can direct
+// per-task input sampling ratios and drop pending or kill running
+// tasks, and dropped maps are tracked so job completion is detected
+// despite them never finishing.
+package mapreduce
+
+import (
+	"approxhadoop/internal/cluster"
+	"approxhadoop/internal/dfs"
+	"approxhadoop/internal/stats"
+)
+
+// KV is one intermediate or final key/value pair. Values are float64
+// because every reducer in the paper (sum, count, average, ratio, min,
+// max) is numeric; string payloads travel in the Record input side.
+type KV struct {
+	Key   string
+	Value float64
+}
+
+// Record is one input record handed to a map function: for text inputs
+// Key identifies the record position and Value is the line.
+type Record struct {
+	Key   string
+	Value string
+}
+
+// Emitter receives intermediate pairs from a map function.
+type Emitter interface {
+	Emit(key string, value float64)
+}
+
+// Mapper is user map() code. One instance is created per map task, so
+// implementations may keep per-task state without synchronization.
+type Mapper interface {
+	Map(rec Record, emit Emitter)
+}
+
+// MapperFunc adapts a function to the Mapper interface.
+type MapperFunc func(rec Record, emit Emitter)
+
+// Map implements Mapper.
+func (f MapperFunc) Map(rec Record, emit Emitter) { f(rec, emit) }
+
+// ReaderMeasure reports what a RecordReader has done so far.
+type ReaderMeasure struct {
+	Items    int64   // records seen in the block (M_i so far)
+	Sampled  int64   // records returned to the caller (m_i so far)
+	Bytes    int64   // raw bytes scanned
+	ReadSecs float64 // real seconds spent reading/parsing
+}
+
+// RecordReader iterates over the records of one block, possibly
+// returning only a sample of them.
+type RecordReader interface {
+	// Next returns the next record; ok=false signals the end of the
+	// block (after which Measure totals are final).
+	Next() (rec Record, ok bool, err error)
+	// Measure returns read statistics accumulated so far.
+	Measure() ReaderMeasure
+	// Close releases the underlying block reader.
+	Close() error
+}
+
+// InputFormat opens blocks for reading. sampleRatio in (0, 1] asks a
+// sampling-aware format to return roughly that fraction of records;
+// precise formats process everything regardless (and should be paired
+// with ratio 1). seed makes sampling deterministic per task attempt.
+type InputFormat interface {
+	Open(b *dfs.Block, sampleRatio float64, seed int64) (RecordReader, error)
+}
+
+// MapOutput is what one completed map task delivers to one reduce
+// partition: the task/cluster identity, the block unit counts needed by
+// multi-stage sampling (Section 4.4 — "each map task tags each
+// key/value pair with its unique task ID" and forwards M_i and m_i),
+// and the pairs themselves, either raw or combiner-aggregated.
+type MapOutput struct {
+	TaskID  int   // map task index; the sampling "cluster" identifier
+	Items   int64 // M_i: data items in the task's block
+	Sampled int64 // m_i: items actually processed
+	// Exactly one of Pairs/Combined is populated, depending on
+	// Job.Combine. Combined carries per-key (count, sum, sumsq), which
+	// is lossless for aggregation reducers.
+	Pairs    []KV
+	Combined map[string]stats.RunningStat
+}
+
+// KeyEstimate is one final (or in-flight) output: a key and its
+// estimate with confidence interval. Exact marks values computed from
+// complete data (no sampling, no dropping), whose interval is zero.
+type KeyEstimate struct {
+	Key   string
+	Est   stats.Estimate
+	Exact bool
+}
+
+// EstimateView gives ReduceLogic the job-level facts needed to evaluate
+// the estimators: the population cluster count N and the confidence.
+type EstimateView struct {
+	TotalMaps  int     // N: clusters in the population
+	Consumed   int     // n: map outputs consumed so far
+	Dropped    int     // dropped or killed maps so far
+	Confidence float64 // e.g. 0.95
+}
+
+// ReduceLogic is the reduce-side computation for one partition. The
+// framework calls Consume once per completed map task (with that task's
+// slice of the shuffle), possibly interleaved with Estimates calls from
+// the controller, and Finalize exactly once at the end.
+type ReduceLogic interface {
+	Consume(out *MapOutput)
+	// Estimates returns the current per-key estimates; used by target-
+	// error controllers while maps are still running. Implementations
+	// for which online estimation is meaningless may return nil.
+	Estimates(view EstimateView) []KeyEstimate
+	// Finalize returns the partition's final outputs.
+	Finalize(view EstimateView) []KeyEstimate
+}
+
+// Directive is returned by a Controller after a map completion to steer
+// the rest of the job.
+type Directive struct {
+	DropPending bool    // drop all not-yet-launched maps
+	KillRunning bool    // also kill currently running maps
+	SampleRatio float64 // if > 0, input sampling ratio for future launches
+	MaxLaunch   int     // if > 0, cap total map launches at this count
+}
+
+// JobView is the read-only window a Controller gets onto a running job.
+type JobView struct {
+	TotalMaps     int
+	TotalMapSlots int
+	Launched      int
+	Completed     int
+	Dropped       int // dropped + killed
+	Running       int
+	Pending       int
+	Confidence    float64
+	// Measures holds the cluster.TaskMeasure of each completed map, in
+	// completion order, for cost-model fitting.
+	Measures []cluster.TaskMeasure
+	// Estimates returns the current cross-partition estimate snapshot.
+	Estimates func() []KeyEstimate
+	// Logics exposes the per-partition ReduceLogic instances so
+	// controllers can extract richer planning statistics (e.g. the
+	// variance components of Equation 7) via type assertion.
+	Logics func() []ReduceLogic
+	// CostParams returns (t0, tr, tp) fitted from completed maps.
+	CostParams func() (t0, tr, tp float64)
+	// AvgItems is the mean M_i over completed maps (0 if none).
+	AvgItems float64
+}
+
+// PlanAction is a Controller's verdict on the next map task launch.
+type PlanAction int
+
+// Plan actions.
+const (
+	// PlanRun launches the task with the returned sampling ratio.
+	PlanRun PlanAction = iota
+	// PlanDrop drops the task without executing it.
+	PlanDrop
+	// PlanDefer leaves the task pending and pauses launching until the
+	// next scheduling pass (e.g. while waiting for a pilot wave to
+	// finish). Controllers must never defer when nothing is running,
+	// or the job would stall; the tracker converts such a defer into a
+	// run as a safety net.
+	PlanDefer
+)
+
+// Controller steers approximation while a job runs. The precise
+// framework uses a nil controller: every task runs with ratio 1.
+type Controller interface {
+	// Name identifies the controller in logs and results.
+	Name() string
+	// Plan is consulted immediately before launching a map task.
+	Plan(v *JobView) (sampleRatio float64, action PlanAction)
+	// Completed is invoked after each map task's output has been
+	// consumed by the reduces.
+	Completed(v *JobView) Directive
+}
+
+// Counters aggregates what happened during a job.
+type Counters struct {
+	MapsTotal      int
+	MapsCompleted  int
+	MapsDropped    int // never launched
+	MapsKilled     int // launched, then deliberately killed
+	MapsFailed     int // attempts lost to server failures (re-executed)
+	MapsSpeculated int // duplicate attempts launched
+	ItemsTotal     int64
+	ItemsProcessed int64
+	BytesRead      int64
+	PairsShuffled  int64
+	Waves          int
+}
+
+// Result is the outcome of a job execution.
+type Result struct {
+	Job      string
+	Outputs  []KeyEstimate // merged across partitions, sorted by key
+	Runtime  float64       // virtual seconds from submission to completion
+	EnergyWh float64       // cluster energy over the job's timeline
+	// Energy splits the job's energy by server state (busy slots,
+	// awake-idle, S3 sleep), in joules.
+	Energy   cluster.EnergyBreakdown
+	Counters Counters
+	// RealSecs is the wall-clock compute actually spent executing map
+	// and reduce code in-process (for calibration and benchmarks).
+	RealSecs float64
+}
+
+// Output returns the estimate for a key, with ok=false when absent
+// (e.g. the key was missed entirely by sampling, Section 3.1's stated
+// limitation).
+func (r *Result) Output(key string) (KeyEstimate, bool) {
+	// Outputs are sorted by key; binary search.
+	lo, hi := 0, len(r.Outputs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.Outputs[mid].Key < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(r.Outputs) && r.Outputs[lo].Key == key {
+		return r.Outputs[lo], true
+	}
+	return KeyEstimate{}, false
+}
+
+// MaxRelErr returns the largest relative error bound across outputs —
+// the paper reports "the key with the maximum predicted absolute
+// error"; relative bounds are what target-error mode constrains.
+func (r *Result) MaxRelErr() float64 {
+	worst := 0.0
+	for _, o := range r.Outputs {
+		if re := o.Est.RelErr(); re > worst {
+			worst = re
+		}
+	}
+	return worst
+}

@@ -1,0 +1,197 @@
+// Package plot renders small ASCII line and bar charts for the
+// evaluation harness, so `approxbench` output resembles the paper's
+// figures in a terminal. It is intentionally minimal: fixed-size
+// canvas, linear axes, multiple series with distinct glyphs.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart is a renderable ASCII chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot-area columns (default 56)
+	Height int // plot-area rows (default 14)
+	series []Series
+}
+
+// glyphs mark successive series.
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// New creates a chart with the given title and axis labels.
+func New(title, xlabel, ylabel string) *Chart {
+	return &Chart{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// Add appends a series; X and Y must have equal length.
+func (c *Chart) Add(name string, x, y []float64) *Chart {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	// Filter non-finite points.
+	fx := make([]float64, 0, n)
+	fy := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if isFinite(x[i]) && isFinite(y[i]) {
+			fx = append(fx, x[i])
+			fy = append(fy, y[i])
+		}
+	}
+	c.series = append(c.series, Series{Name: name, X: fx, Y: fy})
+	return c
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// bounds returns the data extents across all series.
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64, ok bool) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return 0, 0, 0, 0, false
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	return xmin, xmax, ymin, ymax, true
+}
+
+// Render writes the chart to w.
+func (c *Chart) Render(w io.Writer) {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 56
+	}
+	if height <= 0 {
+		height = 14
+	}
+	xmin, xmax, ymin, ymax, ok := c.bounds()
+	if !ok {
+		fmt.Fprintf(w, "%s: (no data)\n", c.Title)
+		return
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			row := int(math.Round((s.Y[i] - ymin) / (ymax - ymin) * float64(height-1)))
+			row = height - 1 - row // origin bottom-left
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = g
+			}
+		}
+		// Connect consecutive points with interpolated marks.
+		for i := 1; i < len(s.X); i++ {
+			c.lineTo(grid, width, height, xmin, xmax, ymin, ymax,
+				s.X[i-1], s.Y[i-1], s.X[i], s.Y[i], g)
+		}
+	}
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	yTop := fmt.Sprintf("%.4g", ymax)
+	yBot := fmt.Sprintf("%.4g", ymin)
+	margin := len(yTop)
+	if len(yBot) > margin {
+		margin = len(yBot)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", margin)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", margin, yTop)
+		}
+		if r == height-1 {
+			label = fmt.Sprintf("%*s", margin, yBot)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s  %-*.4g%*.4g  (%s)\n",
+		strings.Repeat(" ", margin), width/2, xmin, width-width/2, xmax, c.XLabel)
+	var legend []string
+	for si, s := range c.series {
+		legend = append(legend, fmt.Sprintf("%c=%s", glyphs[si%len(glyphs)], s.Name))
+	}
+	if c.YLabel != "" || len(legend) > 0 {
+		fmt.Fprintf(w, "%s  y: %s   %s\n",
+			strings.Repeat(" ", margin), c.YLabel, strings.Join(legend, "  "))
+	}
+}
+
+// lineTo draws interpolated marks between two data points.
+func (c *Chart) lineTo(grid [][]byte, width, height int, xmin, xmax, ymin, ymax, x0, y0, x1, y1 float64, g byte) {
+	steps := width
+	for s := 1; s < steps; s++ {
+		f := float64(s) / float64(steps)
+		x := x0 + (x1-x0)*f
+		y := y0 + (y1-y0)*f
+		col := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		row := height - 1 - int(math.Round((y-ymin)/(ymax-ymin)*float64(height-1)))
+		if col >= 0 && col < width && row >= 0 && row < height && grid[row][col] == ' ' {
+			grid[row][col] = '.'
+		}
+	}
+}
+
+// Bars renders a horizontal bar chart of labeled values to w.
+func Bars(w io.Writer, title string, labels []string, values []float64, unit string) {
+	fmt.Fprintf(w, "%s\n", title)
+	maxV := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		if isFinite(v) && v > maxV {
+			maxV = v
+		}
+		if i < len(labels) && len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	const barWidth = 44
+	for i, v := range values {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		if !isFinite(v) {
+			fmt.Fprintf(w, "  %-*s | (n/a)\n", maxLabel, label)
+			continue
+		}
+		n := int(math.Round(v / maxV * barWidth))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(w, "  %-*s |%s %.4g%s\n", maxLabel, label, strings.Repeat("=", n), v, unit)
+	}
+}

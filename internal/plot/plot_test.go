@@ -1,0 +1,81 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartRender(t *testing.T) {
+	var buf bytes.Buffer
+	c := New("Runtime vs sampling ratio", "sampling %", "seconds")
+	c.Add("drop=0%", []float64{1, 5, 10, 25, 50, 100}, []float64{41, 46, 53, 75, 110, 184})
+	c.Add("drop=50%", []float64{1, 5, 10, 25, 50, 100}, []float64{27, 31, 35, 49, 73, 123})
+	c.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Runtime vs sampling ratio") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*=drop=0%") || !strings.Contains(out, "o=drop=50%") {
+		t.Errorf("missing legend: %s", out)
+	}
+	if !strings.Contains(out, "184") || !strings.Contains(out, "27") {
+		t.Errorf("missing y-axis extremes:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 10 {
+		t.Error("chart too short")
+	}
+	// The top row should carry the max-Y series point (184 at x=100:
+	// rightmost column of the first plot row).
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "*") {
+		t.Errorf("top row should contain the max point: %q", lines[1])
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	New("empty", "x", "y").Render(&buf)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty chart should say so")
+	}
+}
+
+func TestChartFiltersNonFinite(t *testing.T) {
+	var buf bytes.Buffer
+	c := New("t", "x", "y")
+	c.Add("s", []float64{1, 2, 3}, []float64{1, math.Inf(1), math.NaN()})
+	c.Render(&buf)
+	if strings.Contains(buf.String(), "no data") {
+		t.Error("finite points should survive filtering")
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	var buf bytes.Buffer
+	c := New("flat", "x", "y")
+	c.Add("s", []float64{5, 5, 5}, []float64{2, 2, 2})
+	c.Render(&buf) // must not panic or divide by zero
+	if buf.Len() == 0 {
+		t.Error("no output")
+	}
+}
+
+func TestBars(t *testing.T) {
+	var buf bytes.Buffer
+	Bars(&buf, "Energy", []string{"100% maps", "25% maps"}, []float64{100.6, 60.4}, " Wh")
+	out := buf.String()
+	if !strings.Contains(out, "100% maps") || !strings.Contains(out, "60.4 Wh") {
+		t.Errorf("bars output:\n%s", out)
+	}
+	// Longer bar for larger value.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[1], "=") <= strings.Count(lines[2], "=") {
+		t.Error("bar lengths should order by value")
+	}
+	Bars(&buf, "empty", nil, []float64{math.NaN()}, "")
+	if !strings.Contains(buf.String(), "n/a") {
+		t.Error("NaN should render as n/a")
+	}
+}

@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"testing"
+)
+
+func BenchmarkTQuantile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = TQuantile(0.975, float64(1+i%100))
+	}
+}
+
+func BenchmarkNormalQuantile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = NormalQuantile(0.001 + float64(i%997)/1000)
+	}
+}
+
+func BenchmarkRegIncBeta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = RegIncBeta(5, 0.5, float64(i%1000)/1000)
+	}
+}
+
+func BenchmarkTwoStageSum(b *testing.B) {
+	ts := TwoStage{N: 200}
+	r := NewRand(1)
+	for i := 0; i < 100; i++ {
+		cs := ClusterSample{M: 1000, Sam: 100}
+		for j := 0; j < 100; j++ {
+			cs.Stat.Add(r.Float64() * 10)
+		}
+		ts.Clusters = append(ts.Clusters, cs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ts.Sum(0.95)
+	}
+}
+
+func BenchmarkGEVFit(b *testing.B) {
+	sample := drawGEV(GEV{Mu: 10, Sigma: 2, Xi: 0.1}, 100, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitGEVMaxima(sample); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNelderMead(b *testing.B) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		c := x[1] - x[0]*x[0]
+		return a*a + 100*c*c
+	}
+	for i := 0; i < b.N; i++ {
+		_, _ = NelderMead(f, []float64{-1.2, 1}, 0.5, 500)
+	}
+}
+
+func BenchmarkRunningStatAdd(b *testing.B) {
+	var rs RunningStat
+	for i := 0; i < b.N; i++ {
+		rs.Add(float64(i % 100))
+	}
+}
+
+func BenchmarkZipf(b *testing.B) {
+	z := NewZipf(NewRand(1), 1.2, 100000)
+	for i := 0; i < b.N; i++ {
+		_ = z.Next()
+	}
+}

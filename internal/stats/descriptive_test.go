@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); !almostEqual(got, 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7)
+	}
+	if got := StdDev(xs); !almostEqual(got, math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Error("Variance of single element should be 0")
+	}
+}
+
+func TestMinMaxAndSum(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %v,%v", lo, hi)
+	}
+	if Sum([]float64{1, 2, 3}) != 6 {
+		t.Error("Sum wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MinMax(empty) should panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Errorf("P50 = %v", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Errorf("P25 = %v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+}
+
+func TestRunningStatMatchesDirect(t *testing.T) {
+	err := quick.Check(func(vals []float64, extraZeros uint8) bool {
+		var rs RunningStat
+		sample := make([]float64, 0, len(vals)+int(extraZeros))
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				continue
+			}
+			rs.Add(v)
+			sample = append(sample, v)
+		}
+		for i := 0; i < int(extraZeros); i++ {
+			sample = append(sample, 0)
+		}
+		n := int64(len(sample))
+		if n < 2 {
+			return true
+		}
+		wantMean := Mean(sample)
+		wantVar := Variance(sample)
+		return almostEqual(rs.MeanOverN(n), wantMean, 1e-9) &&
+			almostEqual(rs.VarianceOverN(n), wantVar, 1e-6)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunningStatMerge(t *testing.T) {
+	var a, b, all RunningStat
+	for i := 0; i < 10; i++ {
+		v := float64(i * i)
+		all.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(b)
+	if a != all {
+		t.Errorf("merged %+v != direct %+v", a, all)
+	}
+}
+
+func TestVarianceOverNGuards(t *testing.T) {
+	var rs RunningStat
+	rs.Add(5)
+	if rs.VarianceOverN(1) != 0 {
+		t.Error("n<2 variance should be 0")
+	}
+	if rs.MeanOverN(0) != 0 {
+		t.Error("n=0 mean should be 0")
+	}
+}

@@ -1,0 +1,25 @@
+// Package stats implements the statistical machinery that ApproxHadoop
+// relies on to turn approximate MapReduce executions into estimates with
+// rigorous error bounds.
+//
+// It provides:
+//
+//   - Student-t and standard-normal quantiles (via the regularized
+//     incomplete beta function), used for confidence intervals,
+//   - multi-stage (two- and three-stage) sampling estimators for the
+//     aggregation reducers sum, count, average and ratio (Lohr,
+//     "Sampling: Design and Analysis"), including the variance
+//     decomposition of the paper's Equation 3,
+//   - the Generalized Extreme Value (GEV) distribution with maximum
+//     likelihood fitting (Nelder-Mead), Block Minima/Maxima transforms
+//     and delta-method confidence intervals, used for min/max reducers
+//     (Coles, "An Introduction to Statistical Modeling of Extreme
+//     Values"),
+//   - small numerical helpers: descriptive statistics, a Nelder-Mead
+//     optimizer, dense linear solves for the observed information
+//     matrix, and seeded random-variate generators for workloads.
+//
+// Everything is pure Go with no dependencies outside the standard
+// library, and all randomized routines accept explicit *rand.Rand
+// sources so simulations stay deterministic.
+package stats

@@ -1,0 +1,355 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Estimate is a point estimate with a symmetric confidence interval.
+type Estimate struct {
+	Value  float64 // point estimate (tau-hat, mean-hat, ...)
+	Err    float64 // half-width of the confidence interval (epsilon)
+	StdErr float64 // standard error sqrt(Var-hat)
+	DF     float64 // degrees of freedom used for the t critical value
+	Conf   float64 // confidence level, e.g. 0.95
+}
+
+// Lo returns the lower bound of the confidence interval.
+func (e Estimate) Lo() float64 { return e.Value - e.Err }
+
+// Hi returns the upper bound of the confidence interval.
+func (e Estimate) Hi() float64 { return e.Value + e.Err }
+
+// RelErr returns the relative half-width |Err/Value|; it returns +Inf
+// when the point estimate is zero but the error bound is not.
+func (e Estimate) RelErr() float64 {
+	if e.Value == 0 {
+		if e.Err == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(e.Err / e.Value)
+}
+
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.6g ± %.6g (%.0f%% conf)", e.Value, e.Err, e.Conf*100)
+}
+
+// ClusterSample holds what one executed map task reports for one
+// intermediate key under two-stage sampling: the task processed a block
+// ("cluster") with M total units, sampled m of them, and the sampled
+// units produced the recorded running statistics for the key. Units
+// that produced no value for the key count as implicit zeros, which is
+// the paper's single assumption about the Map computation (Section 3.1).
+type ClusterSample struct {
+	M    int64       // units in the cluster (data items in the block)
+	Sam  int64       // sampled units m_i (m_i <= M)
+	Stat RunningStat // per-key count/sum/sumsq over the sampled units
+}
+
+// totalEstimate returns tau-hat_i = M_i * ybar_i, the estimated total of
+// the key's values over the whole cluster.
+func (c ClusterSample) totalEstimate() float64 {
+	if c.Sam == 0 {
+		return 0
+	}
+	return float64(c.M) * c.Stat.MeanOverN(c.Sam)
+}
+
+// withinVarTerm returns M_i (M_i - m_i) s_i^2 / m_i, the within-cluster
+// contribution of this cluster to Var-hat(tau-hat) (Equation 3).
+func (c ClusterSample) withinVarTerm() float64 {
+	if c.Sam < 2 || c.Sam >= c.M {
+		// Fully enumerated clusters contribute no within-cluster
+		// sampling variance; single-unit samples carry no variance
+		// information (conservatively treated as zero, matching
+		// standard practice for two-stage estimators).
+		if c.Sam >= c.M {
+			return 0
+		}
+		return 0
+	}
+	s2 := c.Stat.VarianceOverN(c.Sam)
+	return float64(c.M) * float64(c.M-c.Sam) * s2 / float64(c.Sam)
+}
+
+// TwoStage is a two-stage (cluster) sample: N clusters exist in the
+// population, and Clusters holds the per-cluster reports of the n
+// executed map tasks. In MapReduce terms, N is the total number of map
+// tasks of the job and Clusters has one entry per completed task.
+type TwoStage struct {
+	N        int64 // number of clusters in the population (total map tasks)
+	Clusters []ClusterSample
+}
+
+// n returns the number of sampled clusters.
+func (ts TwoStage) n() int { return len(ts.Clusters) }
+
+// varTotal evaluates Equation 3 of the paper:
+//
+//	Var(tau-hat) = N(N-n) s_u^2 / n + (N/n) sum_i M_i (M_i - m_i) s_i^2 / m_i
+//
+// where s_u^2 is the variance across the sampled clusters' estimated
+// totals and s_i^2 the within-cluster variance (implicit zeros included).
+func (ts TwoStage) varTotal() float64 {
+	n := ts.n()
+	if n == 0 {
+		return math.Inf(1)
+	}
+	N := float64(ts.N)
+	fn := float64(n)
+	totals := make([]float64, n)
+	within := 0.0
+	for i, c := range ts.Clusters {
+		totals[i] = c.totalEstimate()
+		within += c.withinVarTerm()
+	}
+	su2 := Variance(totals)
+	between := N * (N - fn) * su2 / fn
+	if between < 0 {
+		between = 0
+	}
+	return between + N/fn*within
+}
+
+// Sum estimates the population total of the key's values with a
+// confidence interval at the given level (e.g. 0.95). This follows
+// Equations 1-3 of the paper. With n < 2 sampled clusters no variance
+// can be estimated and the error bound is +Inf unless the sample is in
+// fact exhaustive (n == N and every cluster fully sampled), in which
+// case the estimate is exact.
+func (ts TwoStage) Sum(confidence float64) Estimate {
+	n := ts.n()
+	est := Estimate{Conf: confidence, DF: float64(n - 1)}
+	if n == 0 {
+		est.Value = 0
+		est.Err = math.Inf(1)
+		est.StdErr = math.Inf(1)
+		return est
+	}
+	sum := 0.0
+	for _, c := range ts.Clusters {
+		sum += c.totalEstimate()
+	}
+	est.Value = float64(ts.N) / float64(n) * sum
+	if ts.exhaustive() {
+		return est // exact: zero-width interval
+	}
+	if n < 2 {
+		est.Err = math.Inf(1)
+		est.StdErr = math.Inf(1)
+		return est
+	}
+	v := ts.varTotal()
+	est.StdErr = math.Sqrt(v)
+	est.Err = TwoSidedT(confidence, float64(n-1)) * est.StdErr
+	return est
+}
+
+// Count is an alias for Sum for indicator-valued computations (the
+// count of units matching a predicate is the sum of 0/1 values).
+func (ts TwoStage) Count(confidence float64) Estimate { return ts.Sum(confidence) }
+
+// exhaustive reports whether the sample actually covers the entire
+// population, in which case estimates are exact.
+func (ts TwoStage) exhaustive() bool {
+	if int64(ts.n()) != ts.N {
+		return false
+	}
+	for _, c := range ts.Clusters {
+		if c.Sam < c.M {
+			return false
+		}
+	}
+	return true
+}
+
+// PopulationSize estimates the total number of units T in the
+// population as (N/n) * sum M_i; exact when every cluster was sampled.
+func (ts TwoStage) PopulationSize() float64 {
+	n := ts.n()
+	if n == 0 {
+		return 0
+	}
+	t := int64(0)
+	for _, c := range ts.Clusters {
+		t += c.M
+	}
+	return float64(ts.N) / float64(n) * float64(t)
+}
+
+// Mean estimates the per-unit mean of the key's values (the population
+// total divided by the number of units) using ratio estimation: the
+// denominator totals M_i are known exactly for sampled clusters, so the
+// within-cluster residual variance reduces to the value variance.
+func (ts TwoStage) Mean(confidence float64) Estimate {
+	n := ts.n()
+	est := Estimate{Conf: confidence, DF: float64(n - 1)}
+	if n == 0 {
+		est.Err = math.Inf(1)
+		est.StdErr = math.Inf(1)
+		return est
+	}
+	var sumY, sumX float64
+	for _, c := range ts.Clusters {
+		sumY += c.totalEstimate()
+		sumX += float64(c.M)
+	}
+	if sumX == 0 {
+		est.Err = math.Inf(1)
+		est.StdErr = math.Inf(1)
+		return est
+	}
+	b := sumY / sumX
+	est.Value = b
+	if ts.exhaustive() {
+		return est
+	}
+	if n < 2 {
+		est.Err = math.Inf(1)
+		est.StdErr = math.Inf(1)
+		return est
+	}
+	// Linearized variance: residuals d_i = yhat_i - b * M_i at the
+	// cluster level, plus within-cluster value variance (x == 1 per
+	// unit so residual variance within a cluster equals s_i^2).
+	N := float64(ts.N)
+	fn := float64(n)
+	resid := make([]float64, n)
+	within := 0.0
+	for i, c := range ts.Clusters {
+		resid[i] = c.totalEstimate() - b*float64(c.M)
+		within += c.withinVarTerm()
+	}
+	sd2 := Variance(resid)
+	vTot := N*(N-fn)*sd2/fn + N/fn*within
+	if vTot < 0 {
+		vTot = 0
+	}
+	tx := N / fn * sumX // estimated population size
+	est.StdErr = math.Sqrt(vTot) / tx
+	est.Err = TwoSidedT(confidence, float64(n-1)) * est.StdErr
+	return est
+}
+
+// BivariateCluster extends ClusterSample with a second per-unit
+// variable so ratios such as sum(y)/sum(x) (e.g. average request size =
+// total bytes / total requests) can be estimated. SumXY is the sum of
+// per-unit products, needed for the covariance of the linearization.
+type BivariateCluster struct {
+	M     int64
+	Sam   int64
+	Y     RunningStat
+	X     RunningStat
+	SumXY float64
+}
+
+// TwoStageRatio estimates R = total(y)/total(x) from a two-stage sample
+// with N population clusters.
+func TwoStageRatio(N int64, clusters []BivariateCluster, confidence float64) Estimate {
+	n := len(clusters)
+	est := Estimate{Conf: confidence, DF: float64(n - 1)}
+	if n == 0 {
+		est.Err = math.Inf(1)
+		est.StdErr = math.Inf(1)
+		return est
+	}
+	var sumY, sumX float64
+	yhat := make([]float64, n)
+	xhat := make([]float64, n)
+	for i, c := range clusters {
+		if c.Sam > 0 {
+			yhat[i] = float64(c.M) * c.Y.Sum / float64(c.Sam)
+			xhat[i] = float64(c.M) * c.X.Sum / float64(c.Sam)
+		}
+		sumY += yhat[i]
+		sumX += xhat[i]
+	}
+	if sumX == 0 {
+		est.Err = math.Inf(1)
+		est.StdErr = math.Inf(1)
+		return est
+	}
+	b := sumY / sumX
+	est.Value = b
+	if n < 2 {
+		exhaustive := int64(n) == N
+		for _, c := range clusters {
+			if c.Sam < c.M {
+				exhaustive = false
+			}
+		}
+		if exhaustive {
+			return est
+		}
+		est.Err = math.Inf(1)
+		est.StdErr = math.Inf(1)
+		return est
+	}
+	Nf := float64(N)
+	fn := float64(n)
+	resid := make([]float64, n)
+	within := 0.0
+	for i, c := range clusters {
+		resid[i] = yhat[i] - b*xhat[i]
+		if c.Sam >= 2 && c.Sam < c.M {
+			m := float64(c.Sam)
+			// Per-unit residual r_j = y_j - b x_j over the m sampled
+			// units (implicit zeros included): its variance expands to
+			// var(y) + b^2 var(x) - 2 b cov(x, y).
+			meanY := c.Y.Sum / m
+			meanX := c.X.Sum / m
+			vy := c.Y.VarianceOverN(c.Sam)
+			vx := c.X.VarianceOverN(c.Sam)
+			cxy := (c.SumXY - m*meanX*meanY) / (m - 1)
+			s2 := vy + b*b*vx - 2*b*cxy
+			if s2 < 0 {
+				s2 = 0
+			}
+			within += float64(c.M) * float64(c.M-c.Sam) * s2 / m
+		}
+	}
+	sd2 := Variance(resid)
+	vTot := Nf*(Nf-fn)*sd2/fn + Nf/fn*within
+	if vTot < 0 {
+		vTot = 0
+	}
+	tx := Nf / fn * sumX
+	est.StdErr = math.Sqrt(vTot) / tx
+	est.Err = TwoSidedT(confidence, float64(n-1)) * est.StdErr
+	return est
+}
+
+// ThreeStageCluster is a cluster in a three-stage design: within each
+// sampled cluster, G_i groups of intermediate pairs exist (e.g.
+// paragraphs inside pages), g_i of which are observed, and the recorded
+// statistics range over the observed intermediate pairs rather than
+// over input units. The programmer opts in explicitly (Section 3.1,
+// "Three-stage sampling").
+type ThreeStageCluster struct {
+	M    int64       // secondary units (input items) in the cluster
+	Sam  int64       // sampled secondary units
+	G    int64       // intermediate pairs produced per sampled unit (total observed)
+	Stat RunningStat // stats over observed intermediate pairs
+}
+
+// ThreeStageMean estimates the mean over intermediate pairs (rather
+// than over input units). The per-unit pair counts act as the size
+// variable of a ratio estimator: y = value sums, x = pair counts.
+func ThreeStageMean(N int64, clusters []ThreeStageCluster, confidence float64) Estimate {
+	biv := make([]BivariateCluster, len(clusters))
+	for i, c := range clusters {
+		biv[i] = BivariateCluster{
+			M:   c.M,
+			Sam: c.Sam,
+			Y:   c.Stat,
+			X:   RunningStat{Count: c.G, Sum: float64(c.G), SumSq: float64(c.G)},
+			// Without per-unit pair bookkeeping we conservatively use
+			// the value sum as the cross moment, which upper-bounds
+			// the residual variance for nonnegative values.
+			SumXY: c.Stat.Sum,
+		}
+	}
+	return TwoStageRatio(N, biv, confidence)
+}

@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// NelderMead minimizes f starting from x0 using the downhill simplex
+// method with standard coefficients (reflection 1, expansion 2,
+// contraction 0.5, shrink 0.5). step sets the initial simplex size per
+// coordinate; maxIter bounds the number of iterations. It returns the
+// best point found and its value. The implementation is deterministic.
+func NelderMead(f func([]float64) float64, x0 []float64, step float64, maxIter int) ([]float64, float64) {
+	dim := len(x0)
+	if dim == 0 {
+		return nil, f(nil)
+	}
+	type vertex struct {
+		x []float64
+		v float64
+	}
+	eval := func(x []float64) float64 {
+		v := f(x)
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		return v
+	}
+	simplex := make([]vertex, dim+1)
+	for i := range simplex {
+		x := make([]float64, dim)
+		copy(x, x0)
+		if i > 0 {
+			d := step
+			if x[i-1] != 0 {
+				d = step * math.Abs(x[i-1])
+			}
+			if d == 0 {
+				d = step
+			}
+			x[i-1] += d
+		}
+		simplex[i] = vertex{x: x, v: eval(x)}
+	}
+	centroid := make([]float64, dim)
+	trial := make([]float64, dim)
+	trial2 := make([]float64, dim)
+	for iter := 0; iter < maxIter; iter++ {
+		sort.Slice(simplex, func(a, b int) bool { return simplex[a].v < simplex[b].v })
+		best, worst := simplex[0], simplex[dim]
+		if math.Abs(worst.v-best.v) < 1e-12*(1+math.Abs(best.v)) {
+			break
+		}
+		for j := 0; j < dim; j++ {
+			c := 0.0
+			for i := 0; i < dim; i++ { // exclude worst
+				c += simplex[i].x[j]
+			}
+			centroid[j] = c / float64(dim)
+		}
+		// Reflection.
+		for j := 0; j < dim; j++ {
+			trial[j] = centroid[j] + (centroid[j] - worst.x[j])
+		}
+		vr := eval(trial)
+		switch {
+		case vr < best.v:
+			// Expansion.
+			for j := 0; j < dim; j++ {
+				trial2[j] = centroid[j] + 2*(centroid[j]-worst.x[j])
+			}
+			ve := eval(trial2)
+			if ve < vr {
+				copy(simplex[dim].x, trial2)
+				simplex[dim].v = ve
+			} else {
+				copy(simplex[dim].x, trial)
+				simplex[dim].v = vr
+			}
+		case vr < simplex[dim-1].v:
+			copy(simplex[dim].x, trial)
+			simplex[dim].v = vr
+		default:
+			// Contraction (toward the better of worst/reflected).
+			if vr < worst.v {
+				for j := 0; j < dim; j++ {
+					trial2[j] = centroid[j] + 0.5*(trial[j]-centroid[j])
+				}
+			} else {
+				for j := 0; j < dim; j++ {
+					trial2[j] = centroid[j] + 0.5*(worst.x[j]-centroid[j])
+				}
+			}
+			vc := eval(trial2)
+			if vc < math.Min(vr, worst.v) {
+				copy(simplex[dim].x, trial2)
+				simplex[dim].v = vc
+			} else {
+				// Shrink toward best.
+				for i := 1; i <= dim; i++ {
+					for j := 0; j < dim; j++ {
+						simplex[i].x[j] = best.x[j] + 0.5*(simplex[i].x[j]-best.x[j])
+					}
+					simplex[i].v = eval(simplex[i].x)
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(a, b int) bool { return simplex[a].v < simplex[b].v })
+	out := make([]float64, dim)
+	copy(out, simplex[0].x)
+	return out, simplex[0].v
+}
+
+// SolveLinear solves the dense system A x = b by Gaussian elimination
+// with partial pivoting. A is given in row-major order and is not
+// modified. It returns false if the matrix is (numerically) singular.
+func SolveLinear(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(b)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n+1)
+		copy(m[i], a[i])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-14 {
+			return nil, false
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			factor := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= factor * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = m[i][n] / m[i][i]
+	}
+	return x, true
+}
+
+// InvertMatrix inverts the dense n x n matrix a, returning false if the
+// matrix is numerically singular.
+func InvertMatrix(a [][]float64) ([][]float64, bool) {
+	n := len(a)
+	inv := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		e := make([]float64, n)
+		e[j] = 1
+		col, ok := SolveLinear(a, e)
+		if !ok {
+			return nil, false
+		}
+		for i := 0; i < n; i++ {
+			if inv[i] == nil {
+				inv[i] = make([]float64, n)
+			}
+			inv[i][j] = col[i]
+		}
+	}
+	return inv, true
+}

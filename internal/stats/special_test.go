@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b, x, want float64
+	}{
+		{1, 1, 0.5, 0.5},          // uniform CDF
+		{1, 1, 0.25, 0.25},        // uniform CDF
+		{2, 1, 0.5, 0.25},         // x^2
+		{1, 2, 0.5, 0.75},         // 1-(1-x)^2
+		{2, 2, 0.5, 0.5},          // symmetric
+		{5, 5, 0.5, 0.5},          // symmetric
+		{0.5, 0.5, 0.5, 0.5},      // arcsine
+		{0.5, 0.5, 0.25, 1.0 / 3}, // arcsine at 1/4
+	}
+	for _, c := range cases {
+		got := RegIncBeta(c.a, c.b, c.x)
+		if !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("RegIncBeta(%v,%v,%v) = %v, want %v", c.a, c.b, c.x, got, c.want)
+		}
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if got := RegIncBeta(2, 3, 0); got != 0 {
+		t.Errorf("I_0 = %v, want 0", got)
+	}
+	if got := RegIncBeta(2, 3, 1); got != 1 {
+		t.Errorf("I_1 = %v, want 1", got)
+	}
+	if got := RegIncBeta(-1, 3, 0.5); !math.IsNaN(got) {
+		t.Errorf("negative a should be NaN, got %v", got)
+	}
+}
+
+func TestRegIncBetaMonotone(t *testing.T) {
+	err := quick.Check(func(aSeed, bSeed, x1s, x2s uint32) bool {
+		a := 0.5 + float64(aSeed%100)/10
+		b := 0.5 + float64(bSeed%100)/10
+		x1 := float64(x1s%1000) / 1000
+		x2 := float64(x2s%1000) / 1000
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		return RegIncBeta(a, b, x1) <= RegIncBeta(a, b, x2)+1e-12
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.95, 1.6448536269514722},
+		{0.99, 2.3263478740408408},
+		{0.995, 2.5758293035489004},
+		{0.025, -1.959963984540054},
+		{0.0001, -3.719016485455709},
+	}
+	for _, c := range cases {
+		got := NormalQuantile(c.p)
+		if !almostEqual(got, c.want, 1e-8) {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	err := quick.Check(func(seed uint32) bool {
+		p := (float64(seed%99998) + 1) / 100000
+		return almostEqual(NormalCDF(NormalQuantile(p)), p, 1e-9)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTQuantileKnownValues(t *testing.T) {
+	// Reference values from standard t tables.
+	cases := []struct {
+		p, df, want float64
+	}{
+		{0.975, 1, 12.7062047364},
+		{0.975, 2, 4.3026527297},
+		{0.975, 5, 2.5705818366},
+		{0.975, 10, 2.2281388520},
+		{0.975, 30, 2.0422724563},
+		{0.95, 10, 1.8124611228},
+		{0.99, 5, 3.3649299989},
+		{0.995, 20, 2.8453397098},
+	}
+	for _, c := range cases {
+		got := TQuantile(c.p, c.df)
+		if !almostEqual(got, c.want, 1e-6) {
+			t.Errorf("TQuantile(%v, %v) = %v, want %v", c.p, c.df, got, c.want)
+		}
+	}
+}
+
+func TestTQuantileSymmetry(t *testing.T) {
+	for _, df := range []float64{1, 3, 7, 29} {
+		for _, p := range []float64{0.6, 0.9, 0.99} {
+			if got, want := TQuantile(1-p, df), -TQuantile(p, df); !almostEqual(got, want, 1e-9) {
+				t.Errorf("symmetry broken: TQuantile(%v,%v)=%v want %v", 1-p, df, got, want)
+			}
+		}
+	}
+	if TQuantile(0.5, 7) != 0 {
+		t.Error("median of t should be 0")
+	}
+}
+
+func TestTCDFInvertsQuantile(t *testing.T) {
+	err := quick.Check(func(pSeed, dfSeed uint32) bool {
+		p := (float64(pSeed%9998) + 1) / 10000
+		df := float64(dfSeed%60) + 1
+		return almostEqual(TCDF(TQuantile(p, df), df), p, 1e-8)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTQuantileApproachesNormal(t *testing.T) {
+	if got, want := TQuantile(0.975, 1e6), NormalQuantile(0.975); !almostEqual(got, want, 1e-4) {
+		t.Errorf("large-df t quantile %v should approach normal %v", got, want)
+	}
+}
+
+func TestTwoSidedT(t *testing.T) {
+	if got, want := TwoSidedT(0.95, 10), TQuantile(0.975, 10); got != want {
+		t.Errorf("TwoSidedT(0.95,10) = %v, want %v", got, want)
+	}
+	if !math.IsNaN(TwoSidedT(1.5, 10)) {
+		t.Error("confidence > 1 should give NaN")
+	}
+}
+
+func TestTCDFEdges(t *testing.T) {
+	if got := TCDF(math.Inf(1), 5); got != 1 {
+		t.Errorf("TCDF(+inf) = %v", got)
+	}
+	if got := TCDF(math.Inf(-1), 5); got != 0 {
+		t.Errorf("TCDF(-inf) = %v", got)
+	}
+	if !math.IsNaN(TCDF(0, -1)) {
+		t.Error("negative df should be NaN")
+	}
+}

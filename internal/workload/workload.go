@@ -1,0 +1,398 @@
+// Package workload generates the synthetic datasets that stand in for
+// the paper's inputs: the English Wikipedia article dump (Section 5.2,
+// Data Analysis), the Wikipedia access logs (Log Processing and the
+// Table 2 scaling series), and a department web-server access log
+// (Section 5.4). All generators are deterministic functions of a seed
+// and back dfs generated blocks, so multi-terabyte-equivalent inputs
+// exist only as block descriptors until a map task reads them.
+//
+// The generators preserve the statistical properties the paper's
+// evaluation depends on: heavy-tailed (Zipf) page/project popularity,
+// heavy-tailed article sizes, intra-block locality (consecutive
+// records are correlated, which is what widens task-dropping
+// confidence intervals relative to in-block sampling), stable hourly
+// request rates with a weekly pattern, and rare attack events.
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"approxhadoop/internal/dfs"
+	"approxhadoop/internal/stats"
+)
+
+// intSource is the minimal RNG surface dfs generators receive.
+type intSource = dfs.RandSource
+
+// ---------------------------------------------------------------------------
+// Wikipedia article dump
+// ---------------------------------------------------------------------------
+
+// WikiDump describes a synthetic Wikipedia article dump. Each line is
+// one article: "id<TAB>size<TAB>link link link ...".
+type WikiDump struct {
+	Blocks           int   // number of 64MB-equivalent blocks (map tasks)
+	ArticlesPerBlock int   // articles per block
+	LinkUniverse     int   // articles that can be linked to
+	MeanLinks        int   // mean outgoing links per article
+	Seed             int64 // generator seed
+}
+
+// DefaultWikiDump is a laptop-scale analog of the May 2014 snapshot
+// (161 blocks in the paper).
+func DefaultWikiDump() WikiDump {
+	return WikiDump{Blocks: 161, ArticlesPerBlock: 2000, LinkUniverse: 20000, MeanLinks: 8, Seed: 1}
+}
+
+// File materializes the dump as a generated dfs file.
+func (w WikiDump) File(name string) *dfs.File {
+	if w.Blocks <= 0 {
+		w.Blocks = 1
+	}
+	if w.ArticlesPerBlock <= 0 {
+		w.ArticlesPerBlock = 100
+	}
+	if w.LinkUniverse <= 0 {
+		w.LinkUniverse = 1000
+	}
+	if w.MeanLinks <= 0 {
+		w.MeanLinks = 5
+	}
+	gen := func(idx int, r intSource, bw *bufio.Writer) error {
+		rr := stats.NewRand(r.Int63())
+		zipf := stats.NewZipf(rr, 1.3, uint64(w.LinkUniverse))
+		// Intra-block locality: articles in the same block share a
+		// size regime (they were dumped together), like the paper's
+		// observation that "data within blocks usually has locality".
+		blockBias := 0.6 + rr.Float64()
+		for i := 0; i < w.ArticlesPerBlock; i++ {
+			id := idx*w.ArticlesPerBlock + i
+			size := int(stats.Pareto(rr, 300*blockBias, 1.3))
+			if size > 2_000_000 {
+				size = 2_000_000
+			}
+			nLinks := int(stats.Pareto(rr, float64(w.MeanLinks)/2, 1.5))
+			if nLinks > 60 {
+				nLinks = 60
+			}
+			var sb strings.Builder
+			fmt.Fprintf(&sb, "A%d\t%d\t", id, size)
+			for l := 0; l < nLinks; l++ {
+				if l > 0 {
+					sb.WriteByte(' ')
+				}
+				fmt.Fprintf(&sb, "A%d", zipf.Next())
+			}
+			sb.WriteByte('\n')
+			if _, err := bw.WriteString(sb.String()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	estSize := int64(w.ArticlesPerBlock) * 64
+	return dfs.GeneratedFile(name, w.Blocks, w.Seed, estSize, int64(w.ArticlesPerBlock), gen)
+}
+
+// Article is one parsed dump record.
+type Article struct {
+	ID    string
+	Size  int
+	Links []string
+}
+
+// ParseArticle parses one dump line. Malformed lines yield ok=false
+// (and should be skipped, as Hadoop text jobs conventionally do).
+func ParseArticle(line string) (Article, bool) {
+	parts := strings.SplitN(line, "\t", 3)
+	if len(parts) < 2 {
+		return Article{}, false
+	}
+	size, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return Article{}, false
+	}
+	a := Article{ID: parts[0], Size: size}
+	if len(parts) == 3 && parts[2] != "" {
+		a.Links = strings.Fields(parts[2])
+	}
+	return a, true
+}
+
+// SizeBin assigns an article size to its histogram bin (power of two),
+// the WikiLength binning.
+func SizeBin(size int) string {
+	bin := 1
+	for bin < size {
+		bin <<= 1
+	}
+	return fmt.Sprintf("%dB", bin)
+}
+
+// ---------------------------------------------------------------------------
+// Wikipedia access log
+// ---------------------------------------------------------------------------
+
+// AccessLog describes a synthetic Wikipedia HTTP access log. Each line
+// is "epochSecond<TAB>project<TAB>page<TAB>bytes".
+type AccessLog struct {
+	Blocks        int // blocks == map tasks (~740 for "1 week" in the paper)
+	LinesPerBlock int // log entries per block
+	Projects      int // project universe (>2,640 in the paper)
+	Pages         int // page universe
+	Seed          int64
+}
+
+// DefaultAccessLog is a laptop-scale analog of the one-week 46GB log:
+// 46GB of compressed blocks is ~740 map tasks (the paper's week runs
+// in roughly nine waves on the 80-slot cluster), with per-block record
+// counts scaled down to laptop size.
+func DefaultAccessLog() AccessLog {
+	return AccessLog{Blocks: 740, LinesPerBlock: 2000, Projects: 400, Pages: 20000, Seed: 2}
+}
+
+// ScaledAccessLog returns the log descriptor for a Table 2 period: the
+// block count grows linearly with the number of days, exactly like the
+// paper's 92 maps/day... 6,500 maps/year series (scaled down by
+// blocksPerDay).
+func ScaledAccessLog(days, blocksPerDay, linesPerBlock int, seed int64) AccessLog {
+	return AccessLog{
+		Blocks:        days * blocksPerDay,
+		LinesPerBlock: linesPerBlock,
+		Projects:      400,
+		Pages:         20000,
+		Seed:          seed,
+	}
+}
+
+// File materializes the log as a generated dfs file.
+func (a AccessLog) File(name string) *dfs.File {
+	if a.Blocks <= 0 {
+		a.Blocks = 1
+	}
+	if a.LinesPerBlock <= 0 {
+		a.LinesPerBlock = 1000
+	}
+	if a.Projects <= 0 {
+		a.Projects = 10
+	}
+	if a.Pages <= 0 {
+		a.Pages = 100
+	}
+	gen := func(idx int, r intSource, bw *bufio.Writer) error {
+		rr := stats.NewRand(r.Int63())
+		projZipf := stats.NewZipf(rr, 1.4, uint64(a.Projects))
+		pageZipf := stats.NewZipf(rr, 1.2, uint64(a.Pages))
+		// Blocks are time-contiguous: entries in block idx carry
+		// timestamps from that slice of the period (locality again).
+		base := int64(idx) * 3600
+		for i := 0; i < a.LinesPerBlock; i++ {
+			ts := base + rr.Int63()%3600
+			proj := projZipf.Next()
+			page := pageZipf.Next()
+			bytes := int(stats.Pareto(rr, 800, 1.4))
+			if bytes > 5_000_000 {
+				bytes = 5_000_000
+			}
+			if _, err := fmt.Fprintf(bw, "%d\tproj%d\tpage%d\t%d\n", ts, proj, page, bytes); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	estSize := int64(a.LinesPerBlock) * 32
+	return dfs.GeneratedFile(name, a.Blocks, a.Seed, estSize, int64(a.LinesPerBlock), gen)
+}
+
+// Access is one parsed access-log record.
+type Access struct {
+	Epoch   int64
+	Project string
+	Page    string
+	Bytes   int
+}
+
+// ParseAccess parses one access-log line.
+func ParseAccess(line string) (Access, bool) {
+	parts := strings.SplitN(line, "\t", 4)
+	if len(parts) != 4 {
+		return Access{}, false
+	}
+	ts, err1 := strconv.ParseInt(parts[0], 10, 64)
+	b, err2 := strconv.Atoi(parts[3])
+	if err1 != nil || err2 != nil {
+		return Access{}, false
+	}
+	return Access{Epoch: ts, Project: parts[1], Page: parts[2], Bytes: b}, true
+}
+
+// ---------------------------------------------------------------------------
+// Department web-server log
+// ---------------------------------------------------------------------------
+
+// WebLog describes a synthetic departmental web-server access log
+// (Section 5.4): stable request rates following a weekly pattern, and
+// a small set of attacker clients producing rare attack requests. Each
+// line is "client<TAB>hourOfWeek<TAB>path<TAB>bytes<TAB>agent<TAB>attack"
+// with attack being a pattern name or "-".
+type WebLog struct {
+	Blocks        int // one per week in the paper (8 weeks)
+	LinesPerBlock int
+	Clients       int
+	Attackers     int     // clients that also send attacks
+	AttackRate    float64 // fraction of an attacker's lines that are attacks
+	Seed          int64
+}
+
+// DefaultWebLog is a laptop-scale analog of the 80-week log (80 blocks
+// in the paper; we keep their one-block-per-week structure).
+func DefaultWebLog() WebLog {
+	return WebLog{Blocks: 80, LinesPerBlock: 8000, Clients: 3000, Attackers: 40, AttackRate: 0.02, Seed: 3}
+}
+
+var browsers = []string{"Firefox", "Chrome", "Safari", "IE", "Edge", "curl", "bot"}
+
+var attackPatterns = []string{"sqlinj", "xss", "pathtrav", "shellshock"}
+
+// hourWeight is the weekly request-rate shape: business hours on
+// weekdays dominate; nights and weekends are quieter. Rates vary by
+// roughly a third, matching Figure 10(b)'s stability.
+func hourWeight(hourOfWeek int) float64 {
+	day := hourOfWeek / 24
+	hour := hourOfWeek % 24
+	w := 1.0
+	if day >= 5 {
+		w *= 0.85 // weekend dip
+	}
+	if hour >= 9 && hour <= 18 {
+		w *= 1.25 // office hours
+	} else if hour < 6 {
+		w *= 0.85
+	}
+	return w
+}
+
+// File materializes the web log as a generated dfs file.
+func (w WebLog) File(name string) *dfs.File {
+	if w.Blocks <= 0 {
+		w.Blocks = 1
+	}
+	if w.LinesPerBlock <= 0 {
+		w.LinesPerBlock = 1000
+	}
+	if w.Clients <= 0 {
+		w.Clients = 100
+	}
+	if w.Attackers < 0 {
+		w.Attackers = 0
+	}
+	if w.AttackRate <= 0 {
+		w.AttackRate = 0.01
+	}
+	// Precompute the hour-of-week sampling distribution.
+	var cum [168]float64
+	total := 0.0
+	for h := 0; h < 168; h++ {
+		total += hourWeight(h)
+		cum[h] = total
+	}
+	gen := func(idx int, r intSource, bw *bufio.Writer) error {
+		rr := stats.NewRand(r.Int63())
+		clientZipf := stats.NewZipf(rr, 1.1, uint64(w.Clients))
+		pathZipf := stats.NewZipf(rr, 1.3, 2000)
+		for i := 0; i < w.LinesPerBlock; i++ {
+			// Draw the hour of week from the weekly shape.
+			u := rr.Float64() * total
+			hour := 0
+			for hour < 167 && cum[hour] < u {
+				hour++
+			}
+			client := int(clientZipf.Next())
+			path := pathZipf.Next()
+			bytes := int(stats.Pareto(rr, 500, 1.5))
+			if bytes > 2_000_000 {
+				bytes = 2_000_000
+			}
+			agent := browsers[int(rr.Int63())%len(browsers)]
+			attack := "-"
+			if client <= w.Attackers && rr.Float64() < w.AttackRate {
+				attack = attackPatterns[int(rr.Int63())%len(attackPatterns)]
+			}
+			if _, err := fmt.Fprintf(bw, "c%d\t%d\t/p%d\t%d\t%s\t%s\n",
+				client, hour, path, bytes, agent, attack); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	estSize := int64(w.LinesPerBlock) * 40
+	return dfs.GeneratedFile(name, w.Blocks, w.Seed, estSize, int64(w.LinesPerBlock), gen)
+}
+
+// WebAccess is one parsed web-server log record.
+type WebAccess struct {
+	Client     string
+	HourOfWeek int
+	Path       string
+	Bytes      int
+	Agent      string
+	Attack     string // "-" when the request is benign
+}
+
+// ParseWebAccess parses one web-server log line.
+func ParseWebAccess(line string) (WebAccess, bool) {
+	parts := strings.SplitN(line, "\t", 6)
+	if len(parts) != 6 {
+		return WebAccess{}, false
+	}
+	hour, err1 := strconv.Atoi(parts[1])
+	b, err2 := strconv.Atoi(parts[3])
+	if err1 != nil || err2 != nil || hour < 0 || hour >= 168 {
+		return WebAccess{}, false
+	}
+	return WebAccess{
+		Client:     parts[0],
+		HourOfWeek: hour,
+		Path:       parts[2],
+		Bytes:      b,
+		Agent:      parts[4],
+		Attack:     parts[5],
+	}, true
+}
+
+// IsAttack reports whether the record is an attack request.
+func (w WebAccess) IsAttack() bool { return w.Attack != "-" }
+
+// ---------------------------------------------------------------------------
+// Optimization seeds (DC placement and similar search workloads)
+// ---------------------------------------------------------------------------
+
+// SearchSeeds builds an input file with one search-seed line per map
+// task ("seed <n>"), for jobs where every map performs an independent
+// randomized search (the DC-placement pattern).
+func SearchSeeds(name string, maps int, seed int64) *dfs.File {
+	if maps <= 0 {
+		maps = 1
+	}
+	gen := func(idx int, r intSource, bw *bufio.Writer) error {
+		_, err := fmt.Fprintf(bw, "seed\t%d\n", r.Int63())
+		return err
+	}
+	return dfs.GeneratedFile(name, maps, seed, 24, 1, gen)
+}
+
+// ParseSeed extracts the seed from a SearchSeeds line.
+func ParseSeed(line string) (int64, bool) {
+	parts := strings.SplitN(line, "\t", 2)
+	if len(parts) != 2 || parts[0] != "seed" {
+		return 0, false
+	}
+	s, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return s, true
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	approxhadoop "approxhadoop"
+	"approxhadoop/internal/stats"
 )
 
 func wordCountJob(sys *approxhadoop.System, input *approxhadoop.File, ctl approxhadoop.Controller) *approxhadoop.Job {
@@ -54,7 +55,7 @@ func TestPublicAPIWordCount(t *testing.T) {
 		t.Fatal(err)
 	}
 	lorem, ok := precise.Output("lorem")
-	if !ok || lorem.Est.Value != 1000 {
+	if !ok || !stats.AlmostEqual(lorem.Est.Value, 1000, 1e-9) {
 		t.Fatalf("precise lorem = %+v ok=%v (want 1000)", lorem, ok)
 	}
 

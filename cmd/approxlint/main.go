@@ -1,0 +1,123 @@
+// Command approxlint runs the repository's static-analysis suite (see
+// internal/analysis): repo-specific checks that keep the simulator
+// deterministic and the statistics trustworthy.
+//
+// Usage:
+//
+//	approxlint [flags] [packages]
+//
+//	approxlint ./...                     # everything, all analyzers
+//	approxlint -disable nopanic ./...    # all but one
+//	approxlint -enable virtualclock ./.. # exactly one
+//	approxlint -json ./...               # machine-readable findings
+//
+// Findings are suppressed in source with
+// `//lint:ignore <analyzer> reason` on the offending line or the line
+// above. Exit status: 0 clean, 1 findings, 2 operational error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"approxhadoop/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+		enable  = flag.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable = flag.String("disable", "", "comma-separated analyzers to skip")
+		noTests = flag.Bool("notests", false, "skip _test.go files")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*enable, *disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "approxlint:", err)
+		return 2
+	}
+
+	loader := &analysis.Loader{Tests: !*noTests}
+	pkgs, err := loader.Load(flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "approxlint:", err)
+		return 2
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "approxlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "approxlint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers applies the -enable/-disable flags to the registry.
+func selectAnalyzers(enable, disable string) ([]*analysis.Analyzer, error) {
+	var out []*analysis.Analyzer
+	if enable != "" {
+		for _, name := range strings.Split(enable, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				return nil, fmt.Errorf("unknown analyzer %q", name)
+			}
+			out = append(out, a)
+		}
+	} else {
+		out = analysis.All()
+	}
+	if disable != "" {
+		skip := map[string]bool{}
+		for _, name := range strings.Split(disable, ",") {
+			name = strings.TrimSpace(name)
+			if analysis.ByName(name) == nil {
+				return nil, fmt.Errorf("unknown analyzer %q", name)
+			}
+			skip[name] = true
+		}
+		kept := out[:0]
+		for _, a := range out {
+			if !skip[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		out = kept
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return out, nil
+}

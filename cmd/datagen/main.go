@@ -65,7 +65,9 @@ func main() {
 		}
 		rc := b.Open()
 		n, err := io.Copy(w, rc)
-		rc.Close()
+		if cerr := rc.Close(); err == nil {
+			err = cerr
+		}
 		if cerr := w.Close(); err == nil {
 			err = cerr
 		}

@@ -1,0 +1,47 @@
+package approxhadoop_test
+
+import (
+	"testing"
+
+	approxhadoop "approxhadoop"
+	"approxhadoop/internal/stats"
+)
+
+// TestSameSeedRunsIdentical is the determinism acceptance check: two
+// complete simulations of the same approximate job with the same seed
+// must agree bit-for-bit — runtime, energy, and every estimate with
+// its error bound. Wall-clock task measurement or a global rand draw
+// anywhere in the pipeline breaks this (that is what approxlint's
+// virtualclock and seededrand analyzers guard against).
+func TestSameSeedRunsIdentical(t *testing.T) {
+	run := func() *approxhadoop.Result {
+		sys := approxhadoop.NewSystem(approxhadoop.DefaultCluster())
+		input := approxhadoop.SplitText("pages.txt", corpus(), 1024)
+		if err := sys.Store(input); err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(wordCountJob(sys, input, approxhadoop.Ratios(0.25, 0.5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !stats.AlmostEqual(a.Runtime, b.Runtime, 0) {
+		t.Errorf("runtimes differ: %v vs %v", a.Runtime, b.Runtime)
+	}
+	if !stats.AlmostEqual(a.EnergyWh, b.EnergyWh, 0) {
+		t.Errorf("energy differs: %v vs %v", a.EnergyWh, b.EnergyWh)
+	}
+	if len(a.Outputs) != len(b.Outputs) {
+		t.Fatalf("output counts differ: %d vs %d", len(a.Outputs), len(b.Outputs))
+	}
+	for i := range a.Outputs {
+		x, y := a.Outputs[i], b.Outputs[i]
+		if x.Key != y.Key ||
+			!stats.AlmostEqual(x.Est.Value, y.Est.Value, 0) ||
+			!stats.AlmostEqual(x.Est.Err, y.Est.Err, 0) {
+			t.Errorf("output %d differs: %+v vs %+v", i, x, y)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fixtureCases maps each testdata/src directory to the import path its
+// package poses as. virtualclock only fires inside simulator packages,
+// so that fixture borrows a simulator path.
+var fixtureCases = []struct{ dir, path string }{
+	{"virtualclock", "approxhadoop/internal/cluster"},
+	{"seededrand", "example.test/workload"},
+	{"nofloateq", "example.test/floats"},
+	{"nopanic", "example.test/lib"},
+	{"errcheck", "example.test/errs"},
+	{"ignore", "example.test/ignored"},
+}
+
+// wantRe matches expected-diagnostic comments in fixtures:
+//
+//	expr // want: analyzer[ analyzer...]      (on this line)
+//	// want-above: analyzer                   (on the previous line)
+var wantRe = regexp.MustCompile(`//\s*want(-above)?:\s*([a-z ]+)$`)
+
+// expectedDiags scans a fixture file for want comments and returns the
+// expected "line:analyzer" keys.
+func expectedDiags(t *testing.T, path string) map[string]int {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{}
+	for i, line := range strings.Split(string(src), "\n") {
+		m := wantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ln := i + 1
+		if m[1] == "-above" {
+			ln--
+		}
+		for _, name := range strings.Fields(m[2]) {
+			want[fmt.Sprintf("%d:%s", ln, name)]++
+		}
+	}
+	return want
+}
+
+func TestFixtures(t *testing.T) {
+	fset := token.NewFileSet()
+	imp, err := StdImporter("../..", fset, "time", "math/rand", "fmt", "strings", "errors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[string]bool{}
+	for _, c := range fixtureCases {
+		t.Run(c.dir, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", c.dir)
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var files []*ast.File
+			want := map[string]int{}
+			for _, e := range entries {
+				if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+					continue
+				}
+				name := filepath.Join(dir, e.Name())
+				f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+				if err != nil {
+					t.Fatal(err)
+				}
+				files = append(files, f)
+				for k, n := range expectedDiags(t, name) {
+					want[k] += n
+				}
+			}
+			if len(want) == 0 {
+				t.Fatalf("fixture %s has no want comments", c.dir)
+			}
+			pkg, err := CheckParsed(fset, c.path, files, imp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := map[string]int{}
+			for _, d := range Run([]*Package{pkg}, All()) {
+				got[fmt.Sprintf("%d:%s", d.Pos.Line, d.Analyzer)]++
+				covered[d.Analyzer] = true
+			}
+			for k, n := range want {
+				if got[k] != n {
+					t.Errorf("expected %d diagnostic(s) at %s, got %d", n, k, got[k])
+				}
+			}
+			for k, n := range got {
+				if want[k] != n {
+					t.Errorf("unexpected diagnostic(s) at %s (%d)", k, n)
+				}
+			}
+		})
+	}
+	// Every analyzer in the registry must have caught at least one
+	// fixture violation (plus the suppression pseudo-analyzer).
+	var missing []string
+	for _, a := range All() {
+		if !covered[a.Name] {
+			missing = append(missing, a.Name)
+		}
+	}
+	if !covered["ignore"] {
+		missing = append(missing, "ignore")
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		t.Errorf("analyzers with no fixture coverage: %v", missing)
+	}
+}
+
+// TestRepoClean runs the full suite over the whole repository. The
+// tree must stay lint-clean: new wall-clock reads, global rand draws,
+// exact float comparisons, stray panics, and dropped errors show up
+// here (and in CI) immediately.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole repository")
+	}
+	loader := &Loader{Dir: "../..", Tests: true}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(pkgs, All()); len(diags) > 0 {
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Errcheck flags discarded error returns in non-test code: bare call
+// statements (including defer/go), and assignments that throw every
+// result away with blank identifiers.
+var Errcheck = &Analyzer{
+	Name: "errcheck",
+	Doc: "flag discarded error returns (`_ =` discards and bare calls, " +
+		"including defer/go) in non-test code; propagate the error or " +
+		"justify the discard with //lint:ignore errcheck <reason>. The " +
+		"fmt.Print family and writers documented never to fail " +
+		"(strings.Builder, bytes.Buffer, package hash) are excluded",
+	Run: runErrcheck,
+}
+
+// errcheckExcludedPkgs lists packages whose io.Writer-shaped methods
+// are documented to never return a non-nil error.
+var errcheckExcludedPkgs = map[string]bool{
+	"strings": true, // strings.Builder
+	"bytes":   true, // bytes.Buffer
+	"hash":    true, // hash.Hash and friends
+}
+
+func runErrcheck(p *Pass) {
+	for _, f := range p.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				checkDiscardedCall(p, s.X, "unchecked")
+			case *ast.DeferStmt:
+				checkDiscardedCall(p, s.Call, "deferred unchecked")
+			case *ast.GoStmt:
+				checkDiscardedCall(p, s.Call, "unchecked")
+			case *ast.AssignStmt:
+				if len(s.Rhs) != 1 || !allBlank(s.Lhs) {
+					return true
+				}
+				checkDiscardedCall(p, s.Rhs[0], "blank-discarded")
+			}
+			return true
+		})
+	}
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// checkDiscardedCall reports expr when it is a call whose results
+// include an error that the statement throws away.
+func checkDiscardedCall(p *Pass, expr ast.Expr, how string) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if !returnsError(p, call) || excludedCallee(p, call) {
+		return
+	}
+	p.Reportf(call.Pos(), "%s error return of %s; handle it or suppress with //lint:ignore errcheck <reason>",
+		how, calleeName(p, call))
+}
+
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	t := p.Info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch rt := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < rt.Len(); i++ {
+			if types.Identical(rt.At(i).Type(), ErrorType) {
+				return true
+			}
+		}
+	default:
+		return types.Identical(rt, ErrorType)
+	}
+	return false
+}
+
+// excludedCallee reports whether the statically-known callee is on the
+// never-fails list.
+func excludedCallee(p *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	if path == "fmt" && (strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return true
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return errcheckExcludedPkgs[path]
+	}
+	return false
+}
+
+// calleeFunc resolves the called function object, if statically known.
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func calleeName(p *Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(p, call); fn != nil {
+		return fn.FullName()
+	}
+	return "call"
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	analyzers map[string]bool // nil means "all"
+	file      string
+	line      int
+}
+
+// directives indexes suppression comments by file and line.
+type directives struct {
+	byLine map[string]map[int]*directive
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// directiveIndex scans file comments for //lint:ignore directives. A
+// directive suppresses matching findings on its own line or the line
+// immediately below (so it can sit above the offending statement).
+// Malformed directives — no analyzer list, or no reason — are returned
+// as diagnostics of the pseudo-analyzer "ignore".
+func directiveIndex(fset *token.FileSet, files []*ast.File) (*directives, []Diagnostic) {
+	idx := &directives{byLine: make(map[string]map[int]*directive)}
+	var bad []Diagnostic
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		bad = append(bad, Diagnostic{
+			Analyzer: "ignore",
+			Pos:      fset.Position(pos),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:ignored — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(c.Pos(), "lint:ignore needs an analyzer name and a reason")
+					continue
+				}
+				if len(fields) < 2 {
+					report(c.Pos(), "lint:ignore %s needs a reason", fields[0])
+					continue
+				}
+				d := &directive{}
+				if fields[0] != "all" {
+					d.analyzers = make(map[string]bool)
+					for _, name := range strings.Split(fields[0], ",") {
+						d.analyzers[name] = true
+					}
+				}
+				pos := fset.Position(c.Pos())
+				d.file, d.line = pos.Filename, pos.Line
+				if idx.byLine[d.file] == nil {
+					idx.byLine[d.file] = make(map[int]*directive)
+				}
+				idx.byLine[d.file][d.line] = d
+			}
+		}
+	}
+	return idx, bad
+}
+
+// suppresses reports whether a directive covers the diagnostic.
+func (ds *directives) suppresses(d Diagnostic) bool {
+	lines := ds.byLine[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if dir, ok := lines[line]; ok {
+			if dir.analyzers == nil || dir.analyzers[d.Analyzer] {
+				return true
+			}
+		}
+	}
+	return false
+}

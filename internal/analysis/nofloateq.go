@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Nofloateq flags exact ==/!= between floating-point operands.
+var Nofloateq = &Analyzer{
+	Name: "nofloateq",
+	Doc: "flag ==/!= between floating-point operands (estimator outputs " +
+		"go through enough transcendental math that bit-exact equality is " +
+		"fragile); compare with stats.AlmostEqual(got, want, tol). " +
+		"Comparisons against the literal 0 are allowed: zero is an exact " +
+		"sentinel for 'field not set' throughout the codebase",
+	Run: runNofloateq,
+}
+
+func runNofloateq(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p, be.X) && !isFloat(p, be.Y) {
+				return true
+			}
+			// Exact-zero sentinel comparisons are deliberate; and a
+			// comparison folded entirely at compile time cannot
+			// misbehave at run time.
+			if isZeroConst(p, be.X) || isZeroConst(p, be.Y) {
+				return true
+			}
+			if isConst(p, be.X) && isConst(p, be.Y) {
+				return true
+			}
+			p.Reportf(be.OpPos,
+				"exact floating-point %s comparison; use stats.AlmostEqual(got, want, tol)", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(p *Pass, e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(p *Pass, e ast.Expr) bool {
+	return p.Info.Types[e].Value != nil
+}
+
+func isZeroConst(p *Pass, e ast.Expr) bool {
+	v := p.Info.Types[e].Value
+	if v == nil {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v) == 0
+	}
+	return false
+}

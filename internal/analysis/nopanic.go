@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Nopanic flags panic calls in library packages.
+var Nopanic = &Analyzer{
+	Name: "nopanic",
+	Doc: "flag panic(...) in library (non-main, non-test) packages; return " +
+		"an error instead. Documented invariant checks — conditions the " +
+		"package's own API contract says callers must uphold — may stay, " +
+		"suppressed with //lint:ignore nopanic <reason>",
+	Run: runNopanic,
+}
+
+func runNopanic(p *Pass) {
+	if p.Pkg.Name() == "main" {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+				if p.InTestFile(call.Pos()) {
+					return true
+				}
+				p.Reportf(call.Pos(),
+					"panic in library package; return an error (or document the invariant and suppress with //lint:ignore nopanic <reason>)")
+			}
+			return true
+		})
+	}
+}

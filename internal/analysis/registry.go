@@ -1,0 +1,22 @@
+package analysis
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Virtualclock,
+		Seededrand,
+		Nofloateq,
+		Nopanic,
+		Errcheck,
+	}
+}
+
+// ByName resolves an analyzer by its Name; nil when unknown.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Seededrand forbids the global math/rand source in non-test code.
+var Seededrand = &Analyzer{
+	Name: "seededrand",
+	Doc: "forbid top-level math/rand functions (the process-global, " +
+		"unseeded source) in non-test code; inject a seeded *rand.Rand " +
+		"(stats.NewRand) so every sample draw is reproducible",
+	Run: runSeededrand,
+}
+
+func runSeededrand(p *Pass) {
+	for _, f := range p.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Methods on *rand.Rand / *rand.Zipf are fine — they draw
+			// from an explicitly seeded source. Constructors (rand.New,
+			// rand.NewSource, rand.NewZipf, ...) are equally fine: they
+			// bind a caller-supplied seed or source and never touch the
+			// global generator. Only the remaining package-level
+			// functions hit it.
+			if strings.HasPrefix(fn.Name(), "New") {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+				p.Reportf(sel.Pos(),
+					"global math/rand source (rand.%s) is unseeded and process-wide; inject a seeded *rand.Rand (stats.NewRand)",
+					fn.Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,37 @@
+// Fixture for the errcheck analyzer: error results must be handled,
+// whether the call is a bare statement, deferred, spawned, or
+// blank-assigned.
+package errs
+
+import (
+	"fmt"
+	"strings"
+)
+
+func fail() error { return nil }
+
+func failPair() (int, error) { return 0, nil }
+
+func bad() {
+	fail()            // want: errcheck
+	_ = fail()        // want: errcheck
+	_, _ = failPair() // want: errcheck
+	defer fail()      // want: errcheck
+	go fail()         // want: errcheck
+}
+
+func okHandled() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	n, err := failPair()
+	_ = n
+	return err
+}
+
+// The fmt.Print family and never-failing writers are excluded.
+func okExcluded() {
+	fmt.Println("hello")
+	var sb strings.Builder
+	sb.WriteString("ok")
+}

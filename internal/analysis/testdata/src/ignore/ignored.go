@@ -1,0 +1,24 @@
+// Fixture for the suppression machinery: a well-formed lint:ignore
+// silences the finding on its line or the line below; a malformed one
+// (missing reason) is itself reported and suppresses nothing.
+package ignored
+
+func suppressedSameLine(a, b float64) bool {
+	return a == b //lint:ignore nofloateq fixture exercises same-line suppression
+}
+
+func suppressedLineAbove(a, b float64) bool {
+	//lint:ignore nofloateq fixture exercises line-above suppression
+	return a == b
+}
+
+func malformed(a, b float64) bool {
+	//lint:ignore nofloateq
+	// want-above: ignore
+	return a != b // want: nofloateq
+}
+
+func wrongAnalyzer(a, b float64) bool {
+	//lint:ignore errcheck reason names the wrong analyzer, so this does not suppress
+	return a == b // want: nofloateq
+}

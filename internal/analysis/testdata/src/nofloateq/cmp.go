@@ -1,0 +1,19 @@
+// Fixture for the nofloateq analyzer.
+package floats
+
+func badEq(a, b float64) bool {
+	return a == b // want: nofloateq
+}
+
+func badNeqLiteral(a float64) bool {
+	return a != 1.5 // want: nofloateq
+}
+
+// Comparisons against an exact zero are a deliberate sentinel idiom.
+func okZero(a float64) bool { return a == 0 }
+
+// A comparison folded entirely at compile time cannot misbehave.
+func okConstFold() bool { return 1.5 == 3.0/2 }
+
+// Integer equality is exact by nature.
+func okInts(a, b int) bool { return a == b }

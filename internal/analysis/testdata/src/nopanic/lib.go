@@ -1,0 +1,18 @@
+// Fixture for the nopanic analyzer: panics in library packages should
+// be errors (or documented invariants with a suppression).
+package lib
+
+import "errors"
+
+func bad(x int) {
+	if x < 0 {
+		panic("negative") // want: nopanic
+	}
+}
+
+func good(x int) error {
+	if x < 0 {
+		return errors.New("negative")
+	}
+	return nil
+}

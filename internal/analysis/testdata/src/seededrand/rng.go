@@ -1,0 +1,19 @@
+// Fixture for the seededrand analyzer: top-level math/rand functions
+// draw from the process-global source and are forbidden; constructors
+// and methods on an injected *rand.Rand are fine.
+package workload
+
+import "math/rand"
+
+func badGlobal() float64 {
+	return rand.Float64() // want: seededrand
+}
+
+func badGlobalInt() int {
+	return rand.Intn(10) // want: seededrand
+}
+
+func okInjected(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}

@@ -1,0 +1,14 @@
+// Fixture posed as package approxhadoop/internal/cluster, one of the
+// simulator packages where wall-clock reads are forbidden.
+package cluster
+
+import "time"
+
+func badClock() time.Duration {
+	t0 := time.Now()             // want: virtualclock
+	time.Sleep(time.Millisecond) // want: virtualclock
+	return time.Since(t0)        // want: virtualclock
+}
+
+// Durations and duration constants are values, not clock reads.
+func okDuration() time.Duration { return 3 * time.Second }

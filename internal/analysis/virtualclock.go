@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SimulatorPackages are the import paths (and their subtrees) in which
+// wall-clock access is forbidden: everything inside them must advance
+// on the discrete-event engine's virtual clock, or charge compute
+// through a vtime.Meter, for simulations to be reproducible.
+var SimulatorPackages = []string{
+	"approxhadoop/internal/cluster",
+	"approxhadoop/internal/mapreduce",
+	"approxhadoop/internal/dfs",
+	"approxhadoop/internal/approx",
+}
+
+// wallClockFuncs are the package time functions that read or depend on
+// the host clock.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+	"Sleep": true,
+	"Tick":  true,
+	"After": true,
+}
+
+// Virtualclock forbids wall-clock access inside simulator packages.
+var Virtualclock = &Analyzer{
+	Name: "virtualclock",
+	Doc: "forbid time.Now/Since/Until/Sleep/Tick/After in simulator packages " +
+		"(internal/cluster, internal/mapreduce, internal/dfs, internal/approx); " +
+		"use the engine's virtual clock (Engine.Now/At/After) or a vtime.Meter, " +
+		"so task durations cannot depend on host load",
+	Run: runVirtualclock,
+}
+
+func isSimulatorPackage(path string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	for _, p := range SimulatorPackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runVirtualclock(p *Pass) {
+	if !isSimulatorPackage(p.Path) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if wallClockFuncs[fn.Name()] {
+				p.Reportf(sel.Pos(),
+					"wall-clock time.%s in simulator package %s breaks reproducibility; use the cluster engine's virtual clock or a vtime.Meter",
+					fn.Name(), strings.TrimSuffix(p.Path, "_test"))
+			}
+			return true
+		})
+	}
+}

@@ -233,7 +233,7 @@ func TestPreciseViaApproxStackIsExact(t *testing.T) {
 		if !o.Exact || o.Est.Err != 0 {
 			t.Errorf("key %s should be exact: %+v", o.Key, o.Est)
 		}
-		if o.Est.Value != want[o.Key] {
+		if !stats.AlmostEqual(o.Est.Value, want[o.Key], 1e-9) {
 			t.Errorf("key %s = %v, want %v", o.Key, o.Est.Value, want[o.Key])
 		}
 	}
@@ -272,7 +272,7 @@ func TestTargetErrorTinyTargetRunsPrecise(t *testing.T) {
 		t.Errorf("impossible target should run everything: %+v", res.Counters)
 	}
 	for _, o := range res.Outputs {
-		if o.Est.Value != want[o.Key] {
+		if !stats.AlmostEqual(o.Est.Value, want[o.Key], 1e-9) {
 			t.Errorf("key %s = %v, want %v", o.Key, o.Est.Value, want[o.Key])
 		}
 	}
@@ -332,7 +332,7 @@ func TestMultiStageMeanOp(t *testing.T) {
 		r.Consume(out)
 	}
 	out := r.Finalize(view)
-	if len(out) != 1 || out[0].Est.Value != 3 {
+	if len(out) != 1 || !stats.AlmostEqual(out[0].Est.Value, 3, 1e-9) {
 		t.Errorf("mean = %+v", out)
 	}
 	if !out[0].Exact {
@@ -385,7 +385,7 @@ func TestGEVReducerExactWhenComplete(t *testing.T) {
 			Pairs: []mapreduce.KV{{Key: "min", Value: float64(10 - task)}}})
 	}
 	out := r.Finalize(view)
-	if len(out) != 1 || out[0].Est.Value != 8 || !out[0].Exact {
+	if len(out) != 1 || !stats.AlmostEqual(out[0].Est.Value, 8, 1e-9) || !out[0].Exact {
 		t.Errorf("exact min = %+v", out)
 	}
 }
@@ -412,13 +412,13 @@ func TestGEVReducerBoundsWithDrops(t *testing.T) {
 	if e.Exact {
 		t.Error("dropped run cannot be exact")
 	}
-	if e.Est.Value != obs {
+	if !stats.AlmostEqual(e.Est.Value, obs, 1e-12) {
 		t.Errorf("value should be the observed min: %v vs %v", e.Est.Value, obs)
 	}
 	if e.Est.Err <= 0 || math.IsInf(e.Est.Err, 1) {
 		t.Errorf("expected finite positive GEV bound, got %v", e.Est.Err)
 	}
-	if got, ok := r.Observed("min"); !ok || got != obs {
+	if got, ok := r.Observed("min"); !ok || !stats.AlmostEqual(got, obs, 1e-12) {
 		t.Errorf("Observed = %v, %v", got, ok)
 	}
 	if _, ok := r.Observed("absent"); ok {
@@ -554,7 +554,7 @@ func TestRatioOfEstimates(t *testing.T) {
 	num := stats.Estimate{Value: 100, Err: 10, Conf: 0.95}
 	den := stats.Estimate{Value: 50, Err: 5, Conf: 0.95}
 	r := RatioOfEstimates(num, den)
-	if r.Value != 2 {
+	if !stats.AlmostEqual(r.Value, 2, 1e-12) {
 		t.Errorf("ratio = %v", r.Value)
 	}
 	// Extremes: 90/55 ~ 1.636, 110/45 ~ 2.444 -> half-width >= 0.444.
@@ -573,7 +573,7 @@ func TestRatioOfEstimates(t *testing.T) {
 
 func TestStaticClamps(t *testing.T) {
 	s := NewStatic(-0.5, 2)
-	if s.SampleRatio != 1 || s.DropRatio != 1 {
+	if !stats.AlmostEqual(s.SampleRatio, 1, 1e-12) || !stats.AlmostEqual(s.DropRatio, 1, 1e-12) {
 		t.Errorf("clamps: %+v", s)
 	}
 	if s.Name() == "" {

@@ -25,22 +25,22 @@ func TestMaxReducerEndToEnd(t *testing.T) {
 			Pairs: []mapreduce.KV{{Key: "max", Value: v}}})
 	}
 	out := r.Finalize(view)
-	if len(out) != 1 || out[0].Est.Value != obs {
+	if len(out) != 1 || !stats.AlmostEqual(out[0].Est.Value, obs, 1e-12) {
 		t.Fatalf("max output: %+v (obs %v)", out, obs)
 	}
 	if out[0].Est.Err <= 0 || math.IsInf(out[0].Est.Err, 1) {
 		t.Errorf("max bound: %v", out[0].Est.Err)
 	}
-	if got, ok := r.Observed("max"); !ok || got != obs {
+	if got, ok := r.Observed("max"); !ok || !stats.AlmostEqual(got, obs, 1e-12) {
 		t.Errorf("Observed = %v %v", got, ok)
 	}
 	// Custom tail percentile path.
 	r.TailP = 0.05
-	if r.tailP() != 0.05 {
+	if !stats.AlmostEqual(r.tailP(), 0.05, 1e-12) {
 		t.Error("tailP override ignored")
 	}
 	r.TailP = 7 // invalid -> default
-	if r.tailP() != 0.01 {
+	if !stats.AlmostEqual(r.tailP(), 0.01, 1e-12) {
 		t.Error("invalid tailP should default")
 	}
 }

@@ -131,7 +131,7 @@ func TestDistinctKeysExact(t *testing.T) {
 		return map[string]stats.RunningStat{"a": rs, "b": rs}
 	})
 	est := r.DistinctKeys(view)
-	if est.Value != 2 || est.Err != 0 {
+	if !stats.AlmostEqual(est.Value, 2, 1e-12) || est.Err != 0 {
 		t.Errorf("exhaustive distinct count = %+v, want exactly 2", est)
 	}
 }
@@ -148,7 +148,7 @@ func TestDistinctKeysSaturated(t *testing.T) {
 		return map[string]stats.RunningStat{"x": rs, "y": rs}
 	})
 	est := r.DistinctKeys(view)
-	if est.Value != 2 || est.Err != 0 {
+	if !stats.AlmostEqual(est.Value, 2, 1e-12) || est.Err != 0 {
 		t.Errorf("saturated distinct count = %+v", est)
 	}
 }

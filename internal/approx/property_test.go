@@ -156,7 +156,7 @@ func TestPropertyExtremeReducerMonotone(t *testing.T) {
 				obs = v
 			}
 			got, ok := r.Observed("m")
-			if !ok || got != obs {
+			if !ok || !stats.AlmostEqual(got, obs, 1e-12) {
 				return false
 			}
 		}

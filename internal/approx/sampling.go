@@ -6,11 +6,11 @@ import (
 	"io"
 	"math/rand"
 	"strconv"
-	"time"
 
 	"approxhadoop/internal/dfs"
 	"approxhadoop/internal/mapreduce"
 	"approxhadoop/internal/stats"
+	"approxhadoop/internal/vtime"
 )
 
 // ApproxTextInput is the sampling analog of TextInputFormat (the
@@ -39,6 +39,7 @@ func (ApproxTextInput) Open(b *dfs.Block, sampleRatio float64, seed int64) (mapr
 		scan:      s,
 		ratio:     sampleRatio,
 		rng:       stats.NewRand(seed),
+		meter:     vtime.NewDeterministic(),
 	}, nil
 }
 
@@ -48,29 +49,37 @@ type samplingReader struct {
 	scan      *bufio.Scanner
 	ratio     float64
 	rng       *rand.Rand
+	meter     vtime.Meter
 	m         mapreduce.ReaderMeasure
 	keyBuf    []byte
 }
 
+// SetMeter implements mapreduce.MeterSetter.
+func (r *samplingReader) SetMeter(m vtime.Meter) { r.meter = m }
+
 // Next scans forward to the next sampled line. Skipped lines still
-// count toward Items and Bytes: the block is read in full either way.
+// count toward Items and Bytes — and toward the metered read cost:
+// the block is read in full either way.
 func (r *samplingReader) Next() (mapreduce.Record, bool, error) {
-	start := time.Now()
+	r.meter.Begin(vtime.OpRead)
+	var units, bytes int64
 	for r.scan.Scan() {
 		line := r.scan.Text()
 		idx := r.m.Items
 		r.m.Items++
 		r.m.Bytes += int64(len(line)) + 1
+		units++
+		bytes += int64(len(line)) + 1
 		if r.ratio < 1 && r.rng.Float64() >= r.ratio {
 			continue // unit not in the sample
 		}
 		r.m.Sampled++
 		r.keyBuf = append(r.keyBuf[:0], r.keyPrefix...)
 		r.keyBuf = strconv.AppendInt(r.keyBuf, idx, 10)
-		r.m.ReadSecs += time.Since(start).Seconds()
+		r.m.ReadSecs += r.meter.End(vtime.OpRead, units, bytes)
 		return mapreduce.Record{Key: string(r.keyBuf), Value: line}, true, nil
 	}
-	r.m.ReadSecs += time.Since(start).Seconds()
+	r.m.ReadSecs += r.meter.End(vtime.OpRead, units, bytes)
 	if err := r.scan.Err(); err != nil {
 		return mapreduce.Record{}, false, fmt.Errorf("approx: reading %s: %w", r.keyPrefix, err)
 	}

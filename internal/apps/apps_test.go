@@ -8,6 +8,7 @@ import (
 	"approxhadoop/internal/approx"
 	"approxhadoop/internal/cluster"
 	"approxhadoop/internal/mapreduce"
+	"approxhadoop/internal/stats"
 	"approxhadoop/internal/workload"
 )
 
@@ -198,7 +199,7 @@ func TestDCPlacementGeography(t *testing.T) {
 		t.Error("cells")
 	}
 	// Deterministic per cell.
-	if geo.Population(5) != geo.Population(5) || geo.SiteCost(7) != geo.SiteCost(7) {
+	if !stats.AlmostEqual(geo.Population(5), geo.Population(5), 0) || !stats.AlmostEqual(geo.SiteCost(7), geo.SiteCost(7), 0) {
 		t.Error("geography must be deterministic")
 	}
 	popCells := 0
@@ -220,7 +221,7 @@ func TestDCPlacementGeography(t *testing.T) {
 		t.Errorf("placement size %d", len(placement))
 	}
 	best2, _ := geo.Anneal(42, 1500)
-	if best != best2 {
+	if !stats.AlmostEqual(best, best2, 0) {
 		t.Error("annealing must be deterministic per seed")
 	}
 }
@@ -295,7 +296,7 @@ func TestVideoEncoding(t *testing.T) {
 	precise := run(t, VideoEncoding(input, VideoEncodingConfig{}, Options{Seed: 1}))
 	q, _ := precise.Output("quality")
 	f, _ := precise.Output("frames")
-	if f.Est.Value != 8*120 {
+	if !stats.AlmostEqual(f.Est.Value, 8*120, 1e-9) {
 		t.Errorf("frames = %v", f.Est.Value)
 	}
 	pq := q.Est.Value / f.Est.Value
@@ -328,7 +329,7 @@ func TestPlainVsTemplateOverhead(t *testing.T) {
 	}
 	for i := range plain.Outputs {
 		p, q := plain.Outputs[i], templ.Outputs[i]
-		if p.Key != q.Key || p.Est.Value != q.Est.Value {
+		if p.Key != q.Key || !stats.AlmostEqual(p.Est.Value, q.Est.Value, 0) {
 			t.Errorf("mismatch at %s: %v vs %v", p.Key, p.Est.Value, q.Est.Value)
 		}
 	}

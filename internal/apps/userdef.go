@@ -11,6 +11,7 @@ import (
 	"approxhadoop/internal/dfs"
 	"approxhadoop/internal/mapreduce"
 	"approxhadoop/internal/stats"
+	"approxhadoop/internal/vtime"
 )
 
 // ---------------------------------------------------------------------------
@@ -86,6 +87,10 @@ func kmeansMapper(cfg KMeansConfig, stride int) mapreduce.Mapper {
 			if d := dx*dx + dy*dy; d < bestD {
 				bestI, bestD = i, d
 			}
+		}
+		if ch, ok := emit.(vtime.Charger); ok {
+			// Parse + one distance evaluation per centroid.
+			ch.ChargeCompute(float64(4 * (len(cfg.Centroids) + 1)))
 		}
 		w := float64(stride) // rescale so approximate sums stay unbiased
 		emit.Emit(fmt.Sprintf("c%d/count", bestI), w)
@@ -184,21 +189,19 @@ func VideoData(name string, blocks, framesPerBlock int, seed int64) *dfs.File {
 
 // encodeFrame is the synthetic encoding kernel: `passes` motion-search
 // passes over the frame. More passes cost proportionally more compute
-// and yield a better (higher) quality score with diminishing returns.
-func encodeFrame(complexity float64, passes int) (quality float64, bits float64) {
-	acc := 0.0
-	work := int(complexity) * passes * 40 // motion-search inner loop
-	for i := 0; i < work; i++ {
-		acc += math.Sqrt(float64(i%97) + 1)
-	}
-	_ = acc
+// — reported as work units for the job's meter — and yield a better
+// (higher) quality score with diminishing returns.
+func encodeFrame(complexity float64, passes int) (quality, bits, work float64) {
+	work = complexity * float64(passes) * 40 // motion-search inner loop
 	quality = 100 * (1 - math.Exp(-0.8*float64(passes)))
 	bits = complexity * 100 / float64(passes)
-	return quality, bits
+	return quality, bits, work
 }
 
 // videoMapper encodes each frame with the given number of passes and
-// emits aggregate quality/bits/frame counters.
+// emits aggregate quality/bits/frame counters. The kernel declares its
+// motion-search work to the meter, so cheaper settings deterministically
+// cost less compute.
 func videoMapper(passes int) mapreduce.Mapper {
 	return mapreduce.MapperFunc(func(rec mapreduce.Record, emit mapreduce.Emitter) {
 		parts := strings.SplitN(rec.Value, "\t", 2)
@@ -209,7 +212,10 @@ func videoMapper(passes int) mapreduce.Mapper {
 		if err != nil {
 			return
 		}
-		q, b := encodeFrame(c, passes)
+		q, b, work := encodeFrame(c, passes)
+		if ch, ok := emit.(vtime.Charger); ok {
+			ch.ChargeCompute(work)
+		}
 		emit.Emit("quality", q)
 		emit.Emit("bits", b)
 		emit.Emit("frames", 1)

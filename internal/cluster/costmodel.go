@@ -3,19 +3,21 @@ package cluster
 // TaskMeasure carries what a map task actually did, so a cost model can
 // attribute a virtual duration: total record count of its block (M),
 // records actually processed after sampling (m), raw bytes scanned, and
-// the real wall-clock seconds the in-process execution took, split into
-// the time spent reading/parsing the block and the time spent inside
-// the user's map function.
+// the compute seconds the in-process execution was charged by the
+// job's meter (deterministic modeled seconds by default, host
+// wall-clock under a calibration meter), split into the time spent
+// reading/parsing the block and the time spent inside the user's map
+// function.
 type TaskMeasure struct {
 	Items     int64   // M: records in the block
 	Processed int64   // m: records passed to map()
 	Bytes     int64   // raw bytes scanned
-	ReadSecs  float64 // measured seconds spent reading/parsing
-	ProcSecs  float64 // measured seconds spent in map()
-	SetupSecs float64 // measured fixed setup seconds
+	ReadSecs  float64 // metered seconds spent reading/parsing
+	ProcSecs  float64 // metered seconds spent in map()
+	SetupSecs float64 // metered fixed setup seconds
 }
 
-// RealSecs returns the total measured wall time.
+// RealSecs returns the total metered compute time.
 func (t TaskMeasure) RealSecs() float64 { return t.SetupSecs + t.ReadSecs + t.ProcSecs }
 
 // CostModel converts a task's measurements into virtual seconds on the
@@ -33,8 +35,8 @@ type CostModel interface {
 	Params(completed []TaskMeasure) (t0, tr, tp float64)
 }
 
-// MeasuredCost attributes each task its real measured execution time
-// multiplied by Scale. With Scale == 1 virtual time equals the real
+// MeasuredCost attributes each task its metered execution time
+// multiplied by Scale. With Scale == 1 virtual time equals the charged
 // compute time of a single-threaded execution, spread across the
 // simulated cluster's slots.
 type MeasuredCost struct {

@@ -3,6 +3,8 @@ package cluster
 import (
 	"math"
 	"testing"
+
+	"approxhadoop/internal/stats"
 )
 
 func tinyConfig() Config {
@@ -23,7 +25,7 @@ func TestEventOrdering(t *testing.T) {
 	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
 		t.Errorf("order = %v", order)
 	}
-	if e.Now() != 5 {
+	if !stats.AlmostEqual(e.Now(), 5, 1e-12) {
 		t.Errorf("Now = %v, want 5", e.Now())
 	}
 }
@@ -35,7 +37,7 @@ func TestAfterAndClamping(t *testing.T) {
 		e.At(3, func() { fired = e.Now() }) // in the past: clamps to now
 	})
 	e.Run()
-	if fired != 10 {
+	if !stats.AlmostEqual(fired, 10, 1e-12) {
 		t.Errorf("past event should clamp to current time, fired at %v", fired)
 	}
 
@@ -43,7 +45,7 @@ func TestAfterAndClamping(t *testing.T) {
 	var at float64
 	e2.At(2, func() { e2.After(3, func() { at = e2.Now() }) })
 	e2.Run()
-	if at != 5 {
+	if !stats.AlmostEqual(at, 5, 1e-12) {
 		t.Errorf("After should be relative: %v", at)
 	}
 }
@@ -71,7 +73,7 @@ func TestTaskLifecycle(t *testing.T) {
 	if srv.FreeSlots(MapSlot) != 2 {
 		t.Error("slot not released")
 	}
-	if task.Finish != 10 {
+	if !stats.AlmostEqual(task.Finish, 10, 1e-12) {
 		t.Errorf("finish time %v", task.Finish)
 	}
 }
@@ -87,10 +89,10 @@ func TestTaskKill(t *testing.T) {
 	})
 	e.At(30, func() { e.Kill(task) })
 	e.Run()
-	if killedAt != 30 {
+	if !stats.AlmostEqual(killedAt, 30, 1e-12) {
 		t.Errorf("killed at %v, want 30", killedAt)
 	}
-	if task.Finish != 30 {
+	if !stats.AlmostEqual(task.Finish, 30, 1e-12) {
 		t.Errorf("finish adjusted to %v", task.Finish)
 	}
 	// Double kill is a no-op.
@@ -192,12 +194,12 @@ func TestPerturbDuration(t *testing.T) {
 	cfg.StragglerProb = 1
 	cfg.StragglerFactor = 3
 	e := New(cfg)
-	if got := e.PerturbDuration(10); got != 30 {
+	if got := e.PerturbDuration(10); !stats.AlmostEqual(got, 30, 1e-12) {
 		t.Errorf("always-straggle should triple: %v", got)
 	}
 	cfg.StragglerProb = 0
 	e2 := New(cfg)
-	if got := e2.PerturbDuration(10); got != 10 {
+	if got := e2.PerturbDuration(10); !stats.AlmostEqual(got, 10, 1e-12) {
 		t.Errorf("no stragglers: %v", got)
 	}
 }
@@ -232,18 +234,18 @@ func TestDefaultAndAtomConfigs(t *testing.T) {
 func TestMeasuredCost(t *testing.T) {
 	m := TaskMeasure{Items: 100, Processed: 50, SetupSecs: 1, ReadSecs: 2, ProcSecs: 3}
 	c := MeasuredCost{}
-	if got := c.MapDuration(m); got != 6 {
+	if got := c.MapDuration(m); !stats.AlmostEqual(got, 6, 1e-12) {
 		t.Errorf("MapDuration = %v", got)
 	}
 	c2 := MeasuredCost{Scale: 10}
-	if got := c2.MapDuration(m); got != 60 {
+	if got := c2.MapDuration(m); !stats.AlmostEqual(got, 60, 1e-12) {
 		t.Errorf("scaled MapDuration = %v", got)
 	}
-	if got := c.ReduceDuration(0, 4); got != 4 {
+	if got := c.ReduceDuration(0, 4); !stats.AlmostEqual(got, 4, 1e-12) {
 		t.Errorf("ReduceDuration = %v", got)
 	}
 	t0, tr, tp := c.Params([]TaskMeasure{m, m})
-	if t0 != 1 || tr != 0.02 || tp != 0.06 {
+	if !stats.AlmostEqual(t0, 1, 1e-12) || !stats.AlmostEqual(tr, 0.02, 1e-12) || !stats.AlmostEqual(tp, 0.06, 1e-12) {
 		t.Errorf("Params = %v %v %v", t0, tr, tp)
 	}
 	if a, b, cc := c.Params(nil); a != 0 || b != 0 || cc != 0 {
@@ -257,11 +259,11 @@ func TestAnalyticCost(t *testing.T) {
 	if got := c.MapDuration(m); math.Abs(got-(2+1+1)) > 1e-12 {
 		t.Errorf("MapDuration = %v, want 4", got)
 	}
-	if got := c.ReduceDuration(2000, 99); got != 2 {
+	if got := c.ReduceDuration(2000, 99); !stats.AlmostEqual(got, 2, 1e-12) {
 		t.Errorf("ReduceDuration = %v, want 2", got)
 	}
 	t0, tr, tp := c.Params([]TaskMeasure{m})
-	if t0 != 2 || tr != 0.01 || tp != 0.1 {
+	if !stats.AlmostEqual(t0, 2, 1e-12) || !stats.AlmostEqual(tr, 0.01, 1e-12) || !stats.AlmostEqual(tp, 0.1, 1e-12) {
 		t.Errorf("Params = %v %v %v", t0, tr, tp)
 	}
 	cb := AnalyticCost{Tr: 0.01, TrPerByte: 0.001}

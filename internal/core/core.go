@@ -40,6 +40,7 @@ type Approximation struct {
 
 // precise reports whether the spec requests no approximation.
 func (a Approximation) precise() bool {
+	//lint:ignore nofloateq ratios are exact config literals; 1 is the no-sampling sentinel, never a computed value
 	return a.DropRatio == 0 && (a.SampleRatio == 0 || a.SampleRatio == 1) &&
 		a.TargetError == 0 && a.AbsoluteError == 0
 }

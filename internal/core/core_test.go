@@ -1,6 +1,7 @@
 package core
 
 import (
+	"approxhadoop/internal/stats"
 	"math"
 	"strings"
 	"testing"
@@ -69,7 +70,7 @@ func TestSystemStoreAndRun(t *testing.T) {
 		t.Fatalf("outputs = %d", len(res.Outputs))
 	}
 	for _, o := range res.Outputs {
-		if o.Est.Value != 1000 || !o.Exact {
+		if !stats.AlmostEqual(o.Est.Value, 1000, 1e-9) || !o.Exact {
 			t.Errorf("%s = %+v, want exactly 1000", o.Key, o.Est)
 		}
 	}
@@ -105,7 +106,7 @@ func TestSubmitTargetBound(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, o := range res.Outputs {
-		if o.Est.Conf != 0.99 {
+		if !stats.AlmostEqual(o.Est.Conf, 0.99, 1e-12) {
 			t.Errorf("confidence should propagate: %v", o.Est.Conf)
 		}
 	}

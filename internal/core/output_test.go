@@ -85,7 +85,7 @@ func TestEndToEndPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	total, ok := res2.Output("grand-total")
-	if !ok || total.Est.Value != 4000 {
+	if !ok || !stats.AlmostEqual(total.Est.Value, 4000, 1e-9) {
 		t.Errorf("grand total = %+v ok=%v, want 4000", total, ok)
 	}
 }

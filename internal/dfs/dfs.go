@@ -197,6 +197,7 @@ func NewGeneratedBlock(fileName string, index int, seed int64, estSize, estItems
 				if err == nil {
 					err = bw.Flush()
 				}
+				//lint:ignore errcheck CloseWithError is documented to always return nil
 				pw.CloseWithError(err)
 			}()
 			return pr

@@ -206,6 +206,7 @@ func (r *Runner) sweep(title string, build func(apps.Options) *mapreduce.Job) ([
 	rows := [][]string{{"precise", "-", f1(p.Runtime), f1(p.Runtime), f1(p.Runtime), "0%", "0%", f1(p.EnergyWh)}}
 	for _, drop := range SweepDrops {
 		for _, ratio := range SweepRatios {
+			//lint:ignore nofloateq sweep values are exact literals from SweepDrops/SweepRatios, never computed
 			if drop == 0 && ratio == 1 {
 				continue // that's the precise row
 			}
@@ -242,6 +243,7 @@ func (r *Runner) plotSweep(title string, points []Point) {
 	for _, drop := range SweepDrops {
 		var xs, rys, cys []float64
 		for _, p := range points {
+			//lint:ignore nofloateq grouping by the exact sweep literal the point was built from
 			if p.Drop == drop {
 				xs = append(xs, p.Sample)
 				rys = append(rys, p.Runtime)
@@ -580,6 +582,7 @@ func (r *Runner) Fig12() (map[string][]Point, error) {
 		var labels []string
 		var values []float64
 		for _, p := range points {
+			//lint:ignore nofloateq selecting the exact sweep literal 1 (full sampling), never a computed value
 			if p.Sample == 1 {
 				labels = append(labels, fmt.Sprintf("maps=%.0f%%", (1-p.Drop)*100))
 				values = append(values, p.EnergyWh)

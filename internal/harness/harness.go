@@ -228,6 +228,7 @@ func (r *Runner) printPoints(title string, cols []string, rows [][]string) {
 		}
 		fmt.Fprintln(tw)
 	}
+	//lint:ignore errcheck report output is best-effort; a failed flush of the table writer has nowhere to surface
 	tw.Flush()
 }
 

@@ -23,7 +23,7 @@ func tiny(t *testing.T) (*Runner, *bytes.Buffer) {
 
 func TestDefaults(t *testing.T) {
 	r := New(Config{})
-	if r.cfg.Scale != 1 || r.cfg.Reps != 1 || r.cfg.Cost == nil {
+	if !stats.AlmostEqual(r.cfg.Scale, 1, 1e-12) || r.cfg.Reps != 1 || r.cfg.Cost == nil {
 		t.Errorf("defaults not applied: %+v", r.cfg)
 	}
 	if r.scaleN(1000) != 1000 {

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"approxhadoop/internal/stats"
 	"testing"
 
 	"approxhadoop/internal/cluster"
@@ -48,7 +49,7 @@ func TestMapTaskReexecutionOnServerFailure(t *testing.T) {
 		t.Errorf("all logical maps should complete despite the failure: %+v", res.Counters)
 	}
 	for _, o := range res.Outputs {
-		if o.Est.Value != want[o.Key] {
+		if !stats.AlmostEqual(o.Est.Value, want[o.Key], 1e-9) {
 			t.Errorf("%s = %v, want %v (results must survive failures)", o.Key, o.Est.Value, want[o.Key])
 		}
 		if !o.Exact {
@@ -119,7 +120,7 @@ func TestFailServerIdempotent(t *testing.T) {
 	eng.At(100, func() {})
 	eng.Run()
 	want := 100 * cfg.IdleWatts
-	if got := eng.EnergyJoules(); got != want {
+	if got := eng.EnergyJoules(); !stats.AlmostEqual(got, want, 1e-9) {
 		t.Errorf("energy %v, want %v (dead server draws nothing)", got, want)
 	}
 }

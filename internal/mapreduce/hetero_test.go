@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"approxhadoop/internal/stats"
 	"testing"
 
 	"approxhadoop/internal/cluster"
@@ -46,7 +47,7 @@ func TestSpeculationOnHeterogeneousCluster(t *testing.T) {
 	}
 	// Results identical either way.
 	for _, o := range withSpec.Outputs {
-		if o.Est.Value != want[o.Key] {
+		if !stats.AlmostEqual(o.Est.Value, want[o.Key], 1e-9) {
 			t.Errorf("%s = %v, want %v", o.Key, o.Est.Value, want[o.Key])
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"approxhadoop/internal/cluster"
 	"approxhadoop/internal/dfs"
+	"approxhadoop/internal/vtime"
 )
 
 // Job describes one MapReduce job. The zero values of optional fields
@@ -38,9 +39,16 @@ type Job struct {
 	// Confidence for error bounds (default 0.95).
 	Confidence float64
 
-	// Cost converts measured task execution into virtual durations
+	// Cost converts metered task execution into virtual durations
 	// (default cluster.MeasuredCost{}).
 	Cost cluster.CostModel
+
+	// Meter attributes compute seconds to in-process map and reduce
+	// execution (default vtime.NewDeterministic(), which makes task
+	// measurements — and therefore the whole simulation — reproducible).
+	// vtime.NewWall() restores host wall-clock measurement for
+	// calibration runs.
+	Meter vtime.Meter
 
 	// Seed drives task-order randomization and sampling.
 	Seed int64
@@ -105,6 +113,9 @@ func (j *Job) Validate(eng *cluster.Engine) error {
 	}
 	if j.Cost == nil {
 		j.Cost = cluster.MeasuredCost{}
+	}
+	if j.Meter == nil {
+		j.Meter = vtime.NewDeterministic()
 	}
 	if j.SpecFactor <= 1 {
 		j.SpecFactor = 2.0

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"approxhadoop/internal/stats"
 	"fmt"
 	"math"
 	"strings"
@@ -68,7 +69,7 @@ func TestPreciseWordCount(t *testing.T) {
 		t.Fatalf("got %d keys, want %d", len(res.Outputs), len(want))
 	}
 	for _, o := range res.Outputs {
-		if o.Est.Value != want[o.Key] {
+		if !stats.AlmostEqual(o.Est.Value, want[o.Key], 1e-9) {
 			t.Errorf("%s = %v, want %v", o.Key, o.Est.Value, want[o.Key])
 		}
 		if !o.Exact || o.Est.Err != 0 {
@@ -98,7 +99,7 @@ func TestWordCountWithCombiner(t *testing.T) {
 	}
 	res := runWordCount(t, job)
 	for _, o := range res.Outputs {
-		if o.Est.Value != want[o.Key] {
+		if !stats.AlmostEqual(o.Est.Value, want[o.Key], 1e-9) {
 			t.Errorf("combined %s = %v, want %v", o.Key, o.Est.Value, want[o.Key])
 		}
 	}
@@ -115,7 +116,7 @@ func TestBarrierModeSameResult(t *testing.T) {
 	}
 	res := runWordCount(t, job)
 	for _, o := range res.Outputs {
-		if o.Est.Value != want[o.Key] {
+		if !stats.AlmostEqual(o.Est.Value, want[o.Key], 1e-9) {
 			t.Errorf("barrier %s = %v, want %v", o.Key, o.Est.Value, want[o.Key])
 		}
 	}
@@ -140,7 +141,7 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Runtime != b.Runtime || len(a.Outputs) != len(b.Outputs) {
+	if !stats.AlmostEqual(a.Runtime, b.Runtime, 0) || len(a.Outputs) != len(b.Outputs) {
 		t.Errorf("runs differ: %v vs %v", a.Runtime, b.Runtime)
 	}
 }
@@ -347,7 +348,7 @@ func TestResultOutputLookup(t *testing.T) {
 	}
 	res := runWordCount(t, job)
 	ke, ok := res.Output("lorem")
-	if !ok || ke.Est.Value != want["lorem"] {
+	if !ok || !stats.AlmostEqual(ke.Est.Value, want["lorem"], 1e-9) {
 		t.Errorf("Output lookup failed: %+v ok=%v", ke, ok)
 	}
 	if _, ok := res.Output("absent-key"); ok {
@@ -444,17 +445,17 @@ func TestPreciseReduceHelpers(t *testing.T) {
 	min := MinReduce()
 	min.Consume(&MapOutput{Pairs: []KV{{"k", 5}, {"k", 2}, {"k", 9}}, Items: 3, Sampled: 3})
 	out := min.Finalize(view)
-	if len(out) != 1 || out[0].Est.Value != 2 {
+	if len(out) != 1 || !stats.AlmostEqual(out[0].Est.Value, 2, 1e-12) {
 		t.Errorf("MinReduce = %+v", out)
 	}
 	max := MaxReduce()
 	max.Consume(&MapOutput{Pairs: []KV{{"k", 5}, {"k", 2}}, Items: 2, Sampled: 2})
-	if got := max.Finalize(view); got[0].Est.Value != 5 {
+	if got := max.Finalize(view); !stats.AlmostEqual(got[0].Est.Value, 5, 1e-12) {
 		t.Errorf("MaxReduce = %+v", got)
 	}
 	mean := MeanReduce()
 	mean.Consume(&MapOutput{Pairs: []KV{{"k", 4}, {"k", 8}}, Items: 2, Sampled: 2})
-	if got := mean.Finalize(view); got[0].Est.Value != 6 {
+	if got := mean.Finalize(view); !stats.AlmostEqual(got[0].Est.Value, 6, 1e-12) {
 		t.Errorf("MeanReduce = %+v", got)
 	}
 	if mean.Estimates(view) != nil {

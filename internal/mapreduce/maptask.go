@@ -2,17 +2,18 @@ package mapreduce
 
 import (
 	"hash/fnv"
-	"time"
 
 	"approxhadoop/internal/cluster"
 	"approxhadoop/internal/dfs"
 	"approxhadoop/internal/stats"
+	"approxhadoop/internal/vtime"
 )
 
 // Partition returns the reduce partition for a key: hash(key) mod R,
 // Hadoop's default HashPartitioner.
 func Partition(key string, reduces int) int {
 	h := fnv.New32a()
+	//lint:ignore errcheck hash.Hash documents that Write never returns an error
 	_, _ = h.Write([]byte(key))
 	return int(h.Sum32() % uint32(reduces))
 }
@@ -31,10 +32,11 @@ type mapEmitter struct {
 	raw     [][]KV
 	comb    []map[string]stats.RunningStat
 	pairs   int64
+	meter   vtime.Meter
 }
 
-func newMapEmitter(reduces int, combine bool) *mapEmitter {
-	e := &mapEmitter{reduces: reduces, combine: combine}
+func newMapEmitter(reduces int, combine bool, meter vtime.Meter) *mapEmitter {
+	e := &mapEmitter{reduces: reduces, combine: combine, meter: meter}
 	if combine {
 		e.comb = make([]map[string]stats.RunningStat, reduces)
 		for i := range e.comb {
@@ -59,26 +61,37 @@ func (e *mapEmitter) Emit(key string, value float64) {
 	e.raw[p] = append(e.raw[p], KV{Key: key, Value: value})
 }
 
+// ChargeCompute implements vtime.Charger: user map kernels declare
+// their inner-loop work so the meter can attribute compute time
+// deterministically.
+func (e *mapEmitter) ChargeCompute(units float64) { e.meter.Charge(units) }
+
 // executeMap runs one map task attempt in-process: it opens the block
 // through the job's input format (applying the sampling ratio), feeds
 // every returned record to a fresh Mapper, and partitions the emitted
-// pairs. Timing is split into setup, read and process components so
-// cost models and the target-error controller can fit Equation 5.
+// pairs. The job's meter splits charged compute into setup, read and
+// process components so cost models and the target-error controller
+// can fit Equation 5.
 func executeMap(job *Job, block *dfs.Block, taskID int, ratio float64, seed int64) (*mapResult, error) {
-	setupStart := time.Now()
+	meter := job.Meter
+	meter.Begin(vtime.OpSetup)
 	reader, err := job.Format.Open(block, ratio, seed)
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore errcheck block readers close in-memory sources; nothing to surface
 	defer reader.Close()
+	if ms, ok := reader.(MeterSetter); ok {
+		ms.SetMeter(meter)
+	}
 	var mapper Mapper
 	if job.NewMapperFor != nil {
 		mapper = job.NewMapperFor(taskID)
 	} else {
 		mapper = job.NewMapper()
 	}
-	emitter := newMapEmitter(job.Reduces, job.Combine)
-	setup := time.Since(setupStart).Seconds()
+	emitter := newMapEmitter(job.Reduces, job.Combine, meter)
+	setup := meter.End(vtime.OpSetup, 1, 0)
 
 	var procSecs float64
 	for {
@@ -89,9 +102,9 @@ func executeMap(job *Job, block *dfs.Block, taskID int, ratio float64, seed int6
 		if !ok {
 			break
 		}
-		t := time.Now()
+		meter.Begin(vtime.OpProc)
 		mapper.Map(rec, emitter)
-		procSecs += time.Since(t).Seconds()
+		procSecs += meter.End(vtime.OpProc, 1, 0)
 	}
 	rm := reader.Measure()
 	res := &mapResult{

@@ -77,14 +77,14 @@ func TestWriteJSON(t *testing.T) {
 	if parsed.Job != "test" || len(parsed.Outputs) != 3 {
 		t.Fatalf("parsed: %+v", parsed)
 	}
-	if parsed.Outputs[0].Lo != 95 || parsed.Outputs[0].Hi != 105 {
+	if !stats.AlmostEqual(parsed.Outputs[0].Lo, 95, 1e-9) || !stats.AlmostEqual(parsed.Outputs[0].Hi, 105, 1e-9) {
 		t.Errorf("alpha interval: %+v", parsed.Outputs[0])
 	}
 	if !parsed.Outputs[1].Exact {
 		t.Error("beta should be exact")
 	}
 	g := parsed.Outputs[2]
-	if !g.Unbounded || g.Epsilon != -1 {
+	if !g.Unbounded || !stats.AlmostEqual(g.Epsilon, -1, 1e-12) {
 		t.Errorf("gamma should be unbounded sentinel: %+v", g)
 	}
 }

@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"io"
 	"strconv"
-	"time"
 
 	"approxhadoop/internal/dfs"
+	"approxhadoop/internal/vtime"
 )
 
 // TextInputFormat parses a block into one record per line, like
@@ -26,6 +26,7 @@ func (TextInputFormat) Open(b *dfs.Block, _ float64, _ int64) (RecordReader, err
 		keyPrefix: b.ID() + ":",
 		rc:        rc,
 		scan:      newLineScanner(rc),
+		meter:     vtime.NewDeterministic(),
 	}, nil
 }
 
@@ -40,14 +41,18 @@ type textReader struct {
 	keyPrefix string
 	rc        io.ReadCloser
 	scan      *bufio.Scanner
+	meter     vtime.Meter
 	m         ReaderMeasure
 	keyBuf    []byte
 }
 
+// SetMeter implements MeterSetter.
+func (t *textReader) SetMeter(m vtime.Meter) { t.meter = m }
+
 func (t *textReader) Next() (Record, bool, error) {
-	start := time.Now()
+	t.meter.Begin(vtime.OpRead)
 	if !t.scan.Scan() {
-		t.m.ReadSecs += time.Since(start).Seconds()
+		t.m.ReadSecs += t.meter.End(vtime.OpRead, 0, 0)
 		if err := t.scan.Err(); err != nil {
 			return Record{}, false, fmt.Errorf("mapreduce: reading %s: %w", t.keyPrefix, err)
 		}
@@ -59,7 +64,7 @@ func (t *textReader) Next() (Record, bool, error) {
 	t.m.Bytes += int64(len(line)) + 1
 	t.keyBuf = append(t.keyBuf[:0], t.keyPrefix...)
 	t.keyBuf = strconv.AppendInt(t.keyBuf, t.m.Items-1, 10)
-	t.m.ReadSecs += time.Since(start).Seconds()
+	t.m.ReadSecs += t.meter.End(vtime.OpRead, 1, int64(len(line))+1)
 	return Record{Key: string(t.keyBuf), Value: line}, true, nil
 }
 

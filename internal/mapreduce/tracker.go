@@ -4,11 +4,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"time"
 
 	"approxhadoop/internal/cluster"
 	"approxhadoop/internal/dfs"
 	"approxhadoop/internal/stats"
+	"approxhadoop/internal/vtime"
 )
 
 // taskState tracks the lifecycle of one logical map task.
@@ -374,11 +374,11 @@ func (t *tracker) deliver(r *reduceTask, out *MapOutput) {
 }
 
 func (t *tracker) consume(r *reduceTask, out *MapOutput) {
-	start := time.Now()
+	t.job.Meter.Begin(vtime.OpReduce)
 	r.logic.Consume(out)
-	secs := time.Since(start).Seconds()
-	t.realSecs += secs
 	n := int64(len(out.Pairs)) + int64(len(out.Combined))
+	secs := t.job.Meter.End(vtime.OpReduce, n, 0)
+	t.realSecs += secs
 	r.pairs += n
 	cost := t.job.Cost.ReduceDuration(n, secs)
 	now := t.eng.Now()
@@ -475,6 +475,7 @@ func (t *tracker) maybeSleepIdle() {
 	}
 	for _, s := range t.eng.Servers() {
 		if !s.Asleep() && s.Busy(cluster.MapSlot) == 0 && s.Busy(cluster.ReduceSlot) == 0 {
+			//lint:ignore errcheck Sleep fails only on a busy server and both slot classes were just checked idle
 			_ = t.eng.Sleep(s)
 		}
 	}
@@ -531,9 +532,9 @@ func (t *tracker) checkCompletion() {
 			}
 			r.buffered = nil
 		}
-		start := time.Now()
+		t.job.Meter.Begin(vtime.OpReduce)
 		outs := r.logic.Finalize(view)
-		fSecs := time.Since(start).Seconds()
+		fSecs := t.job.Meter.End(vtime.OpReduce, int64(len(outs)), 0)
 		t.realSecs += fSecs
 		r.outputs = outs
 		finish := math.Max(t.eng.Now(), r.busyUntil) + t.job.Cost.ReduceDuration(0, fSecs)

@@ -17,6 +17,7 @@ import (
 	"approxhadoop/internal/cluster"
 	"approxhadoop/internal/dfs"
 	"approxhadoop/internal/stats"
+	"approxhadoop/internal/vtime"
 )
 
 // KV is one intermediate or final key/value pair. Values are float64
@@ -56,7 +57,15 @@ type ReaderMeasure struct {
 	Items    int64   // records seen in the block (M_i so far)
 	Sampled  int64   // records returned to the caller (m_i so far)
 	Bytes    int64   // raw bytes scanned
-	ReadSecs float64 // real seconds spent reading/parsing
+	ReadSecs float64 // metered seconds spent reading/parsing
+}
+
+// MeterSetter is implemented by RecordReaders that account their read
+// cost against a compute meter. The framework injects the job's meter
+// right after InputFormat.Open; readers fall back to a private
+// deterministic meter when used standalone.
+type MeterSetter interface {
+	SetMeter(m vtime.Meter)
 }
 
 // RecordReader iterates over the records of one block, possibly
@@ -215,8 +224,10 @@ type Result struct {
 	// awake-idle, S3 sleep), in joules.
 	Energy   cluster.EnergyBreakdown
 	Counters Counters
-	// RealSecs is the wall-clock compute actually spent executing map
-	// and reduce code in-process (for calibration and benchmarks).
+	// RealSecs is the compute charged by the job's meter for executing
+	// map and reduce code in-process: deterministic modeled seconds
+	// under the default vtime.Deterministic meter, host wall-clock
+	// seconds under vtime.Wall (calibration and benchmarks).
 	RealSecs float64
 }
 

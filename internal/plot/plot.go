@@ -72,9 +72,11 @@ func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64, ok bool) {
 	if math.IsInf(xmin, 1) {
 		return 0, 0, 0, 0, false
 	}
+	//lint:ignore nofloateq degenerate-range guard: only a bitwise-identical min and max need widening
 	if xmax == xmin {
 		xmax = xmin + 1
 	}
+	//lint:ignore nofloateq degenerate-range guard: only a bitwise-identical min and max need widening
 	if ymax == ymin {
 		ymax = ymin + 1
 	}

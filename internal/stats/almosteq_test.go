@@ -1,0 +1,33 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1 + 1e-13, 1e-12, true},
+		{1, 1.1, 1e-3, false},
+		{0, 1e-13, 1e-12, true},
+		{0, 1e-3, 1e-12, false},
+		{1e12, 1e12 * (1 + 1e-13), 1e-12, true}, // relative, not absolute
+		{1e12, 1.1e12, 1e-3, false},
+		{math.Inf(1), math.Inf(1), 1e-12, true},
+		{math.Inf(1), math.Inf(-1), 1e-12, false},
+		{math.Inf(1), 1, 1e-12, false},
+		{-5, 5, 1e-12, false},
+	}
+	for _, c := range cases {
+		if got := AlmostEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("AlmostEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+	if AlmostEqual(math.NaN(), math.NaN(), 1) {
+		t.Error("NaN should never compare almost-equal")
+	}
+}

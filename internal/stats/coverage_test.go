@@ -15,7 +15,7 @@ func TestTwoStageCount(t *testing.T) {
 		ts.Clusters = append(ts.Clusters, cs)
 	}
 	est := ts.Count(0.95)
-	if est.Value != 12 || est.Err != 0 {
+	if !AlmostEqual(est.Value, 12, 1e-12) || est.Err != 0 {
 		t.Errorf("Count = %+v, want exactly 12", est)
 	}
 }
@@ -54,7 +54,7 @@ func TestTwoStageRatioDegenerate(t *testing.T) {
 	x.Add(1)
 	exact := []BivariateCluster{{M: 2, Sam: 2, Y: y, X: x, SumXY: 10}}
 	est := TwoStageRatio(1, exact, 0.95)
-	if est.Value != 5 || est.Err != 0 {
+	if !AlmostEqual(est.Value, 5, 1e-12) || est.Err != 0 {
 		t.Errorf("exhaustive single-cluster ratio = %+v, want exactly 5", est)
 	}
 	// Single non-exhaustive cluster: unbounded.

@@ -40,6 +40,7 @@ func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 // slice, which would indicate a logic error in the caller.
 func MinMax(xs []float64) (minV, maxV float64) {
 	if len(xs) == 0 {
+		//lint:ignore nopanic documented invariant: the doc comment requires a non-empty slice; an empty one is a caller logic error
 		panic("stats: MinMax of empty slice")
 	}
 	minV, maxV = xs[0], xs[0]

@@ -8,13 +8,13 @@ import (
 
 func TestMeanVariance(t *testing.T) {
 	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
-	if got := Mean(xs); got != 5 {
+	if got := Mean(xs); !AlmostEqual(got, 5, 1e-12) {
 		t.Errorf("Mean = %v, want 5", got)
 	}
-	if got := Variance(xs); !almostEqual(got, 32.0/7, 1e-12) {
+	if got := Variance(xs); !AlmostEqual(got, 32.0/7, 1e-12) {
 		t.Errorf("Variance = %v, want %v", got, 32.0/7)
 	}
-	if got := StdDev(xs); !almostEqual(got, math.Sqrt(32.0/7), 1e-12) {
+	if got := StdDev(xs); !AlmostEqual(got, math.Sqrt(32.0/7), 1e-12) {
 		t.Errorf("StdDev = %v", got)
 	}
 }
@@ -30,10 +30,10 @@ func TestMeanEmpty(t *testing.T) {
 
 func TestMinMaxAndSum(t *testing.T) {
 	lo, hi := MinMax([]float64{3, -1, 7, 2})
-	if lo != -1 || hi != 7 {
+	if !AlmostEqual(lo, -1, 1e-12) || !AlmostEqual(hi, 7, 1e-12) {
 		t.Errorf("MinMax = %v,%v", lo, hi)
 	}
-	if Sum([]float64{1, 2, 3}) != 6 {
+	if !AlmostEqual(Sum([]float64{1, 2, 3}), 6, 1e-12) {
 		t.Error("Sum wrong")
 	}
 	defer func() {
@@ -46,16 +46,16 @@ func TestMinMaxAndSum(t *testing.T) {
 
 func TestPercentile(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 5}
-	if got := Percentile(xs, 50); got != 3 {
+	if got := Percentile(xs, 50); !AlmostEqual(got, 3, 1e-12) {
 		t.Errorf("P50 = %v", got)
 	}
-	if got := Percentile(xs, 0); got != 1 {
+	if got := Percentile(xs, 0); !AlmostEqual(got, 1, 1e-12) {
 		t.Errorf("P0 = %v", got)
 	}
-	if got := Percentile(xs, 100); got != 5 {
+	if got := Percentile(xs, 100); !AlmostEqual(got, 5, 1e-12) {
 		t.Errorf("P100 = %v", got)
 	}
-	if got := Percentile(xs, 25); got != 2 {
+	if got := Percentile(xs, 25); !AlmostEqual(got, 2, 1e-12) {
 		t.Errorf("P25 = %v", got)
 	}
 	if !math.IsNaN(Percentile(nil, 50)) {
@@ -83,8 +83,8 @@ func TestRunningStatMatchesDirect(t *testing.T) {
 		}
 		wantMean := Mean(sample)
 		wantVar := Variance(sample)
-		return almostEqual(rs.MeanOverN(n), wantMean, 1e-9) &&
-			almostEqual(rs.VarianceOverN(n), wantVar, 1e-6)
+		return AlmostEqual(rs.MeanOverN(n), wantMean, 1e-9) &&
+			AlmostEqual(rs.VarianceOverN(n), wantVar, 1e-6)
 	}, nil)
 	if err != nil {
 		t.Error(err)

@@ -58,7 +58,7 @@ func TestTwoStageExhaustiveIsExact(t *testing.T) {
 		ts.Clusters = append(ts.Clusters, cs)
 	}
 	est := ts.Sum(0.95)
-	if !almostEqual(est.Value, total, 1e-9) {
+	if !AlmostEqual(est.Value, total, 1e-9) {
 		t.Errorf("exhaustive sum %v != true %v", est.Value, total)
 	}
 	if est.Err != 0 {
@@ -118,11 +118,9 @@ func TestTwoStageDegenerate(t *testing.T) {
 	}
 	ts.Clusters = []ClusterSample{{M: 100, Sam: 10, Stat: RunningStat{Count: 5, Sum: 50, SumSq: 600}}}
 	est = ts.Sum(0.95)
-	if est.Value != 10*100.0/10*50/10*1 { // N/n * M/m * sum... = 10 * (100*(50/10)) = 5000
-		// value = N/n * M * mean = 10 * 100 * 5 = 5000
-		if est.Value != 5000 {
-			t.Errorf("single cluster estimate %v, want 5000", est.Value)
-		}
+	// value = N/n * M * mean = 10 * 100 * 5 = 5000
+	if !AlmostEqual(est.Value, 5000, 1e-9) {
+		t.Errorf("single cluster estimate %v, want 5000", est.Value)
 	}
 	if !math.IsInf(est.Err, 1) {
 		t.Error("single cluster should give infinite error bound")
@@ -156,14 +154,14 @@ func TestTwoStageMeanExhaustive(t *testing.T) {
 		ts.Clusters = append(ts.Clusters, cs)
 	}
 	est := ts.Mean(0.95)
-	if !almostEqual(est.Value, 2, 1e-12) || est.Err != 0 {
+	if !AlmostEqual(est.Value, 2, 1e-12) || est.Err != 0 {
 		t.Errorf("exhaustive mean = %v ± %v, want 2 ± 0", est.Value, est.Err)
 	}
 }
 
 func TestPopulationSize(t *testing.T) {
 	ts := TwoStage{N: 10, Clusters: []ClusterSample{{M: 100, Sam: 10}, {M: 200, Sam: 10}}}
-	if got := ts.PopulationSize(); got != 1500 {
+	if got := ts.PopulationSize(); !AlmostEqual(got, 1500, 1e-9) {
 		t.Errorf("PopulationSize = %v, want 1500", got)
 	}
 }
@@ -187,7 +185,7 @@ func TestTwoStageRatioRecoverAverage(t *testing.T) {
 		clusters = append(clusters, c)
 	}
 	est := TwoStageRatio(int64(N), clusters, 0.95)
-	if !almostEqual(est.Value, trueY/trueX, 1e-9) {
+	if !AlmostEqual(est.Value, trueY/trueX, 1e-9) {
 		t.Errorf("ratio %v, want %v", est.Value, trueY/trueX)
 	}
 }
@@ -234,10 +232,10 @@ func TestTwoStageRatioPartialSampleCoverage(t *testing.T) {
 
 func TestEstimateHelpers(t *testing.T) {
 	e := Estimate{Value: 100, Err: 5, Conf: 0.95}
-	if e.Lo() != 95 || e.Hi() != 105 {
+	if !AlmostEqual(e.Lo(), 95, 1e-12) || !AlmostEqual(e.Hi(), 105, 1e-12) {
 		t.Error("Lo/Hi wrong")
 	}
-	if e.RelErr() != 0.05 {
+	if !AlmostEqual(e.RelErr(), 0.05, 1e-12) {
 		t.Errorf("RelErr = %v", e.RelErr())
 	}
 	zero := Estimate{Value: 0, Err: 1}
@@ -277,7 +275,7 @@ func TestThreeStageMean(t *testing.T) {
 		clusters = append(clusters, c)
 	}
 	est := ThreeStageMean(10, clusters, 0.95)
-	if !almostEqual(est.Value, 2, 1e-9) {
+	if !AlmostEqual(est.Value, 2, 1e-9) {
 		t.Errorf("three-stage mean %v, want 2", est.Value)
 	}
 }

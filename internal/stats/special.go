@@ -94,6 +94,7 @@ func NormalQuantile(p float64) float64 {
 		switch {
 		case p == 0:
 			return math.Inf(-1)
+		//lint:ignore nofloateq boundary of the quantile domain; only an exact 1 maps to +Inf
 		case p == 1:
 			return math.Inf(1)
 		}
@@ -164,12 +165,14 @@ func TQuantile(p, df float64) float64 {
 		if p == 0 {
 			return math.Inf(-1)
 		}
+		//lint:ignore nofloateq boundary of the quantile domain; only an exact 1 maps to +Inf
 		if p == 1 {
 			return math.Inf(1)
 		}
 		return math.NaN()
 	case df > 1e7:
 		return NormalQuantile(p)
+	//lint:ignore nofloateq the median shortcut applies only to a literal 0.5; nearby values take the general path correctly
 	case p == 0.5:
 		return 0
 	}

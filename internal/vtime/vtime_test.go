@@ -1,0 +1,74 @@
+package vtime
+
+import (
+	"testing"
+
+	"approxhadoop/internal/stats"
+)
+
+func TestDeterministicRates(t *testing.T) {
+	d := NewDeterministic()
+	cases := []struct {
+		op           Op
+		units, bytes int64
+		want         float64
+	}{
+		{OpSetup, 0, 0, d.SetupSecs},
+		{OpRead, 3, 100, 3*d.ReadPerItem + 100*d.ReadPerByte},
+		{OpProc, 0, 0, d.ProcPerCall},
+		{OpReduce, 7, 0, 7 * d.ReducePerPair},
+	}
+	for _, c := range cases {
+		d.Begin(c.op)
+		if got := d.End(c.op, c.units, c.bytes); !stats.AlmostEqual(got, c.want, 0) {
+			t.Errorf("End(%v, %d, %d) = %v, want %v", c.op, c.units, c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestDeterministicCharge(t *testing.T) {
+	d := NewDeterministic()
+	d.Begin(OpProc)
+	d.Charge(1000)
+	d.Charge(500)
+	want := d.ProcPerCall + 1500*d.WorkUnitSecs
+	if got := d.End(OpProc, 0, 0); !stats.AlmostEqual(got, want, 0) {
+		t.Errorf("charged End = %v, want %v", got, want)
+	}
+	// The pending pool must drain: a second bracket starts clean.
+	d.Begin(OpProc)
+	if got := d.End(OpProc, 0, 0); !stats.AlmostEqual(got, d.ProcPerCall, 0) {
+		t.Errorf("second End = %v, want %v (pending work leaked)", got, d.ProcPerCall)
+	}
+}
+
+func TestDeterministicIsReproducible(t *testing.T) {
+	run := func() float64 {
+		d := NewDeterministic()
+		var total float64
+		for i := 0; i < 100; i++ {
+			d.Begin(OpProc)
+			d.Charge(float64(i))
+			total += d.End(OpProc, 0, 0)
+			d.Begin(OpRead)
+			total += d.End(OpRead, 1, int64(i))
+		}
+		return total
+	}
+	if a, b := run(), run(); !stats.AlmostEqual(a, b, 0) {
+		t.Errorf("identical metering sequences disagree: %v vs %v", a, b)
+	}
+}
+
+func TestWallMeterMeasures(t *testing.T) {
+	w := NewWall()
+	w.Begin(OpProc)
+	x := 0
+	for i := 0; i < 1000; i++ {
+		x += i
+	}
+	_ = x
+	if got := w.End(OpProc, 0, 0); got < 0 {
+		t.Errorf("wall measurement negative: %v", got)
+	}
+}

@@ -87,6 +87,14 @@ type (
 
 	// ClusterConfig configures the simulated cluster.
 	ClusterConfig = cluster.Config
+	// Fault is one injected failure on the virtual timeline.
+	Fault = cluster.Fault
+	// FaultPlan scripts a deterministic sequence of injected faults
+	// (assign to Job.Faults).
+	FaultPlan = cluster.FaultPlan
+	// RetryPolicy bounds fault recovery: attempt caps, backoff, server
+	// blacklisting and a map-phase deadline (assign to Job.Retry).
+	RetryPolicy = mapreduce.RetryPolicy
 	// CostModel converts task measurements to virtual durations.
 	CostModel = cluster.CostModel
 	// AnalyticCost is the t0 + M*tr + m*tp cost model of Equation 5.
@@ -116,6 +124,26 @@ func PaperCost() AnalyticCost {
 // AtomCluster mirrors the paper's 60-node Atom cluster used for the
 // large scaling experiments.
 func AtomCluster() ClusterConfig { return cluster.AtomConfig() }
+
+// Fault kinds for FaultPlan entries.
+const (
+	// FaultTask kills one running map attempt on the target server.
+	FaultTask = cluster.FaultTask
+	// FaultServer fail-stops the target server (Recover > 0 rejoins it).
+	FaultServer = cluster.FaultServer
+	// FaultSlow changes the target server's speed factor.
+	FaultSlow = cluster.FaultSlow
+	// FaultGroup fail-stops a set of servers at once (rack failure).
+	FaultGroup = cluster.FaultGroup
+)
+
+// RandomFaultPlan builds a seeded random mix of task faults,
+// fail-stops (some with recovery), slowdowns and correlated group
+// failures over the first horizon seconds; servers listed in protect
+// never fail-stop (their faults weaken to transient task faults).
+func RandomFaultPlan(seed int64, n, servers int, horizon float64, protect ...int) FaultPlan {
+	return cluster.RandomFaultPlan(seed, n, servers, horizon, protect...)
+}
 
 // System is an ApproxHadoop deployment: a simulated cluster plus a DFS
 // namespace. Jobs run on a fresh cluster timeline each (see

@@ -9,6 +9,7 @@
 //	approxrun -app pagepop -target 0.01 -pilot
 //	approxrun -app dcplacement -target 0.05
 //	approxrun -app wikilength              # precise
+//	approxrun -app projectpop -sample 0.1 -faults 8 -max-attempts 3 -degrade-to-drop
 //
 // Apps: wikilength wikipagerank projectpop pagepop pagetraffic
 // wikirate webrate attacks totalsize requestsize clients browsers
@@ -41,6 +42,10 @@ func main() {
 		seed   = flag.Int64("seed", 42, "random seed")
 		topN   = flag.Int("top", 15, "output keys to print")
 		format = flag.String("format", "text", "output format: text | tsv | json")
+
+		faults      = flag.Int("faults", 0, "inject N random faults (task faults, fail-stops, slowdowns, rack failures) seeded by -seed")
+		maxAttempts = flag.Int("max-attempts", 0, "cap attempts per map task (0 = unlimited retries)")
+		degrade     = flag.Bool("degrade-to-drop", false, "fold unrecoverable task failures into the estimator's dropped-cluster count instead of failing")
 	)
 	flag.Parse()
 
@@ -120,7 +125,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	eng := cluster.New(cluster.DefaultConfig())
+	cfg := cluster.DefaultConfig()
+	job.Retry.MaxAttemptsPerTask = *maxAttempts
+	job.DegradeToDrop = *degrade
+	if *faults > 0 {
+		// Reduce state is not replicated, so a fail-stop on a
+		// reduce-hosting server aborts the job regardless of the retry
+		// policy. Reduces are placed round-robin from server 0; protect
+		// those hosts (their faults weaken to transient task faults).
+		reduces := job.Reduces
+		if reduces <= 0 || reduces > cfg.Servers {
+			reduces = cfg.Servers
+		}
+		protect := make([]int, reduces)
+		for i := range protect {
+			protect[i] = i
+		}
+		plan := cluster.RandomFaultPlan(*seed, *faults, cfg.Servers, 20.0, protect...)
+		job.Faults = &plan
+	}
+
+	eng := cluster.New(cfg)
 	res, err := mapreduce.Run(eng, job)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "approxrun: %v\n", err)
@@ -150,6 +175,10 @@ func main() {
 	fmt.Printf("%s: %d maps (%d completed, %d dropped, %d killed), %d waves\n",
 		res.Job, res.Counters.MapsTotal, res.Counters.MapsCompleted,
 		res.Counters.MapsDropped, res.Counters.MapsKilled, res.Counters.Waves)
+	if c := res.Counters; c.MapsFailed > 0 || c.MapsDegraded > 0 {
+		fmt.Printf("faults: %d attempts failed, %d retried, %d degraded to drops, %d servers blacklisted\n",
+			c.MapsFailed, c.MapsRetried, c.MapsDegraded, c.ServersBlacklisted)
+	}
 	fmt.Printf("items processed: %d / %d; simulated runtime %.1f s; energy %.1f Wh\n\n",
 		res.Counters.ItemsProcessed, res.Counters.ItemsTotal, res.Runtime, res.EnergyWh)
 	for _, o := range outs {

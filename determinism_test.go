@@ -20,7 +20,21 @@ func TestSameSeedRunsIdentical(t *testing.T) {
 		if err := sys.Store(input); err != nil {
 			t.Fatal(err)
 		}
-		res, err := sys.Run(wordCountJob(sys, input, approxhadoop.Ratios(0.25, 0.5)))
+		job := wordCountJob(sys, input, approxhadoop.Ratios(0.25, 0.5))
+		// Determinism must survive fault injection too. The job leaves
+		// Reduces at its default (one per server), so every server hosts
+		// unreplicated reduce state: protect all of them from fail-stops
+		// (their faults weaken to transient task faults) and exercise
+		// the retry/degrade machinery instead. The analytic cost model
+		// stretches the map phase across the fault horizon so the
+		// faults actually land on running attempts.
+		job.Cost = approxhadoop.AnalyticCost{T0: 1, Tr: 0.01, Tp: 0.01}
+		plan := approxhadoop.RandomFaultPlan(21, 8, 10, 1.5,
+			0, 1, 2, 3, 4, 5, 6, 7, 8, 9)
+		job.Faults = &plan
+		job.Retry = approxhadoop.RetryPolicy{MaxAttemptsPerTask: 3, Backoff: 0.25}
+		job.DegradeToDrop = true
+		res, err := sys.Run(job)
 		if err != nil {
 			t.Fatal(err)
 		}

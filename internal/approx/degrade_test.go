@@ -1,0 +1,145 @@
+package approx
+
+import (
+	"math"
+	"testing"
+
+	"approxhadoop/internal/cluster"
+	"approxhadoop/internal/dfs"
+	"approxhadoop/internal/mapreduce"
+)
+
+// TestDegradedDropCoverage is the statistical regression test for
+// failure-aware degradation: under injected transient faults with a
+// one-attempt budget and DegradeToDrop on, failed map tasks become
+// non-sampled clusters, and the multi-stage estimator's 95% intervals
+// must still cover the ground truth at roughly the nominal rate.
+// Coverage is checked across (seed, key) pairs; the 0.85 floor leaves
+// slack for the small cluster count (finite-sample t intervals).
+func TestDegradedDropCoverage(t *testing.T) {
+	const seeds = 20
+	covered, intervals := 0, 0
+	degradedRuns, nonExact := 0, 0
+	for seed := int64(0); seed < seeds; seed++ {
+		input, want := countInput(24, 400, 1000+seed)
+		eng := approxEngine()
+		job := sumJob(input, nil)
+		job.Seed = seed
+		job.DegradeToDrop = true
+		job.Retry = mapreduce.RetryPolicy{MaxAttemptsPerTask: 1}
+		// With T0=1 and 16 map slots over 24 blocks the map phase runs
+		// ~2 waves of ~1.5s; spread transient faults across it. Servers
+		// 0 and 1 host the reduces, but task faults never kill servers,
+		// so no server is excluded.
+		var faults []cluster.Fault
+		for i := 0; i < 6; i++ {
+			faults = append(faults, cluster.Fault{
+				At:     0.4 + 0.45*float64(i),
+				Kind:   cluster.FaultTask,
+				Server: int(seed+int64(i)) % 4,
+			})
+		}
+		job.Faults = &cluster.FaultPlan{Faults: faults}
+		res, err := mapreduce.Run(eng, job)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Counters.MapsDegraded > 0 {
+			degradedRuns++
+		}
+		if res.Counters.MapsCompleted+res.Counters.MapsDegraded != res.Counters.MapsTotal {
+			t.Fatalf("seed %d: accounting: %+v", seed, res.Counters)
+		}
+		for _, o := range res.Outputs {
+			truth := want[o.Key]
+			if o.Exact {
+				// Exact outputs (no task degraded this run) must match.
+				if math.Abs(o.Est.Value-truth) > 1e-6 {
+					t.Errorf("seed %d key %s: exact value %v != truth %v", seed, o.Key, o.Est.Value, truth)
+				}
+				continue
+			}
+			nonExact++
+			if math.IsNaN(o.Est.Err) || o.Est.Err <= 0 {
+				t.Errorf("seed %d key %s: degraded output needs a real error bound, got %v", seed, o.Key, o.Est.Err)
+				continue
+			}
+			intervals++
+			if o.Est.Lo() <= truth && truth <= o.Est.Hi() {
+				covered++
+			}
+		}
+	}
+	if degradedRuns < seeds/2 {
+		t.Fatalf("only %d/%d runs saw degraded tasks; fault plan too weak for a coverage test", degradedRuns, seeds)
+	}
+	if intervals < 20 {
+		t.Fatalf("only %d non-exact intervals; not enough to assess coverage", intervals)
+	}
+	if rate := float64(covered) / float64(intervals); rate < 0.85 {
+		t.Errorf("95%% CI covered truth in %d/%d intervals (%.2f); degraded drops are biasing the estimator",
+			covered, intervals, rate)
+	}
+	if nonExact == 0 {
+		t.Error("no non-exact outputs: degradation never reached the estimator")
+	}
+}
+
+// TestReplicaLossDropCoverage is the same check for the other
+// degradation trigger: single-replica blocks lost to a permanent
+// server failure become non-sampled clusters.
+func TestReplicaLossDropCoverage(t *testing.T) {
+	const seeds = 12
+	covered, intervals := 0, 0
+	degradedRuns := 0
+	for seed := int64(0); seed < seeds; seed++ {
+		input, want := countInput(24, 400, 2000+seed)
+		eng := approxEngine()
+		var ids []string
+		for _, s := range eng.Servers() {
+			ids = append(ids, s.ID)
+		}
+		// Replication 1: any server death loses data for good.
+		nn := dfs.NewNameNode(ids, 1)
+		if err := nn.Register(input); err != nil {
+			t.Fatal(err)
+		}
+		job := sumJob(input, nil)
+		job.Seed = seed
+		job.DegradeToDrop = true
+		// Server 3 hosts no reduce (reduces 0,1 round-robin) and dies
+		// mid-map-phase, taking its single-replica blocks along.
+		job.Faults = &cluster.FaultPlan{Faults: []cluster.Fault{
+			{At: 0.8, Kind: cluster.FaultServer, Server: 3},
+		}}
+		res, err := mapreduce.Run(eng, job)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Counters.MapsDegraded > 0 {
+			degradedRuns++
+		}
+		for _, o := range res.Outputs {
+			if o.Exact {
+				continue
+			}
+			if math.IsNaN(o.Est.Err) || o.Est.Err <= 0 {
+				t.Errorf("seed %d key %s: bad error bound %v", seed, o.Key, o.Est.Err)
+				continue
+			}
+			intervals++
+			if truth := want[o.Key]; o.Est.Lo() <= truth && truth <= o.Est.Hi() {
+				covered++
+			}
+		}
+	}
+	if degradedRuns < seeds/2 {
+		t.Fatalf("only %d/%d runs degraded; scenario too weak", degradedRuns, seeds)
+	}
+	if intervals == 0 {
+		t.Fatal("no intervals produced")
+	}
+	if rate := float64(covered) / float64(intervals); rate < 0.85 {
+		t.Errorf("95%% CI covered truth in %d/%d intervals (%.2f)", covered, intervals, rate)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"approxhadoop/internal/stats"
 )
@@ -177,13 +178,21 @@ type RunningTask struct {
 	Kind     SlotKind
 	Start    float64
 	Finish   float64
+	seq      int64 // start order; the deterministic tie-break for fault victims
 	done     bool
 	killed   bool
+	failed   bool // killed by a fault (task fault or server death), not deliberately
 	onFinish func(killed bool)
 }
 
 // Killed reports whether the task was killed before completing.
 func (t *RunningTask) Killed() bool { return t.killed }
+
+// Failed reports whether the task was terminated by a fault — a
+// transient task fault or its server's death — rather than a
+// deliberate Kill. Schedulers use this to choose re-execution over
+// drop accounting.
+func (t *RunningTask) Failed() bool { return t.failed }
 
 // Done reports whether the task has finished or been killed.
 func (t *RunningTask) Done() bool { return t.done }
@@ -210,6 +219,7 @@ type Engine struct {
 	lastAcc float64 // time up to which energy is integrated
 	rng     *rand.Rand
 	running map[*RunningTask]bool
+	taskSeq int64
 }
 
 // New builds an engine from cfg. Invalid slot counts are clamped to 1.
@@ -358,11 +368,13 @@ func (e *Engine) StartTask(srv *Server, kind SlotKind, duration float64, onFinis
 	} else {
 		srv.reduceBusy++
 	}
+	e.taskSeq++
 	t := &RunningTask{
 		Server:   srv,
 		Kind:     kind,
 		Start:    e.now,
 		Finish:   e.now + duration,
+		seq:      e.taskSeq,
 		onFinish: onFinish,
 	}
 	e.running[t] = true
@@ -385,11 +397,13 @@ func (e *Engine) StartOpenTask(srv *Server, kind SlotKind, onFinish func(killed 
 	} else {
 		srv.reduceBusy++
 	}
+	e.taskSeq++
 	t := &RunningTask{
 		Server:   srv,
 		Kind:     kind,
 		Start:    e.now,
 		Finish:   -1, // unknown
+		seq:      e.taskSeq,
 		onFinish: onFinish,
 	}
 	e.running[t] = true
@@ -439,31 +453,83 @@ func (e *Engine) finish(t *RunningTask, killed bool) {
 // RunningTasks returns the number of currently running tasks.
 func (e *Engine) RunningTasks() int { return len(e.running) }
 
+// tasksOn returns the running tasks hosted by s in start order (the
+// deterministic order required for fault callbacks — e.running is a
+// map, and map iteration order must never leak into the schedule).
+func (e *Engine) tasksOn(s *Server, kind SlotKind, any bool) []*RunningTask {
+	var ts []*RunningTask
+	for t := range e.running {
+		if t.Server == s && (any || t.Kind == kind) {
+			ts = append(ts, t)
+		}
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].seq < ts[j].seq })
+	return ts
+}
+
 // FailServer fail-stops a server at the current virtual time: every
-// task running on it is killed (their onFinish callbacks fire with
-// killed=true and the server's Dead flag set, so schedulers can
-// distinguish failure from a deliberate kill and re-execute), its
-// slots disappear, and it draws no power.
+// task running on it is killed in start order (their onFinish
+// callbacks fire with killed=true and the server's Dead flag set, so
+// schedulers can distinguish failure from a deliberate kill and
+// re-execute), its slots disappear, and it draws no power.
 func (e *Engine) FailServer(s *Server) {
 	if s.dead {
 		return
 	}
 	e.accrue()
 	s.dead = true
-	var victims []*RunningTask
-	for t := range e.running {
-		if t.Server == s {
-			victims = append(victims, t)
-		}
-	}
-	for _, t := range victims {
+	for _, t := range e.tasksOn(s, MapSlot, true) {
+		t.failed = true
 		e.finish(t, true)
 	}
+}
+
+// RecoverServer rejoins a failed server at the current virtual time:
+// its slots become free and it draws idle power again. Tasks lost when
+// it died stay lost (they were already killed); re-execution is the
+// scheduler's business. Recovering a live server is a no-op.
+func (e *Engine) RecoverServer(s *Server) {
+	if !s.dead {
+		return
+	}
+	e.accrue()
+	s.dead = false
+	s.asleep = false
+}
+
+// SetSpeed changes a server's speed factor (duration divisor) for
+// tasks started from now on; tasks already running keep their
+// scheduled completion. Non-positive factors are ignored.
+func (e *Engine) SetSpeed(s *Server, factor float64) {
+	if factor > 0 {
+		s.speed = factor
+	}
+}
+
+// FailRandomMapTask injects a transient task fault: one running map
+// attempt on s (chosen by the engine's seeded RNG) is terminated with
+// Failed set, while the server itself survives. It reports whether a
+// victim existed. Reduce attempts are never targeted — the simulator's
+// incremental reduces cannot be re-executed (documented limitation).
+func (e *Engine) FailRandomMapTask(s *Server) bool {
+	ts := e.tasksOn(s, MapSlot, false)
+	if len(ts) == 0 {
+		return false
+	}
+	t := ts[e.rng.Intn(len(ts))]
+	t.failed = true
+	e.finish(t, true)
+	return true
 }
 
 // ScheduleFailure arranges a fail-stop of server s at virtual time at.
 func (e *Engine) ScheduleFailure(s *Server, at float64) {
 	e.At(at, func() { e.FailServer(s) })
+}
+
+// ScheduleRecovery arranges a rejoin of server s at virtual time at.
+func (e *Engine) ScheduleRecovery(s *Server, at float64) {
+	e.At(at, func() { e.RecoverServer(s) })
 }
 
 // Sleep transitions an idle server to the S3 state. It fails if the

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"sort"
+
+	"approxhadoop/internal/stats"
+)
+
+// FaultKind classifies injectable faults.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// FaultTask is a transient task fault: one running map attempt on
+	// the target server dies; the server survives. A no-op when the
+	// server has no running map attempt at the fault time.
+	FaultTask FaultKind = iota
+	// FaultServer fail-stops the target server; with Recover > 0 the
+	// server rejoins after that much downtime.
+	FaultServer
+	// FaultSlow degrades (or restores) the target server's speed
+	// factor for tasks started from then on.
+	FaultSlow
+	// FaultGroup fail-stops every server in Servers at once — a
+	// rack-style correlated failure; with Recover > 0 they all rejoin
+	// together after the downtime.
+	FaultGroup
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultTask:
+		return "task-fault"
+	case FaultServer:
+		return "server-down"
+	case FaultSlow:
+		return "server-slow"
+	case FaultGroup:
+		return "group-down"
+	default:
+		return "unknown"
+	}
+}
+
+// Fault is one injected failure on the virtual timeline.
+type Fault struct {
+	At      float64 // seconds after injection (relative to Inject time)
+	Kind    FaultKind
+	Server  int     // target server index (FaultTask, FaultServer, FaultSlow)
+	Servers []int   // target group (FaultGroup)
+	Factor  float64 // new speed factor (FaultSlow)
+	Recover float64 // downtime before rejoin; 0 = permanent (FaultServer, FaultGroup)
+}
+
+// FaultPlan is a scripted sequence of faults. Plans are driven
+// entirely by the virtual clock and (for victim selection within a
+// server) the engine's seeded RNG, so a simulation with a fault plan
+// is exactly as reproducible as one without.
+type FaultPlan struct {
+	Faults []Fault
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *FaultPlan) Empty() bool { return p == nil || len(p.Faults) == 0 }
+
+// Inject schedules every fault in the plan, with fault times taken
+// relative to the engine's current virtual time.
+func (e *Engine) Inject(p *FaultPlan) {
+	if p.Empty() {
+		return
+	}
+	for _, f := range p.Faults {
+		f := f
+		e.After(f.At, func() { e.applyFault(f) })
+	}
+}
+
+// applyFault executes one fault at the current virtual time. Server
+// indices out of range are ignored.
+func (e *Engine) applyFault(f Fault) {
+	srv := func(i int) *Server {
+		if i < 0 || i >= len(e.servers) {
+			return nil
+		}
+		return e.servers[i]
+	}
+	switch f.Kind {
+	case FaultTask:
+		if s := srv(f.Server); s != nil {
+			e.FailRandomMapTask(s)
+		}
+	case FaultSlow:
+		if s := srv(f.Server); s != nil {
+			e.SetSpeed(s, f.Factor)
+		}
+	case FaultServer:
+		if s := srv(f.Server); s != nil && !s.dead {
+			e.FailServer(s)
+			if f.Recover > 0 {
+				e.After(f.Recover, func() { e.RecoverServer(s) })
+			}
+		}
+	case FaultGroup:
+		for _, i := range f.Servers {
+			if s := srv(i); s != nil && !s.dead {
+				e.FailServer(s)
+				if f.Recover > 0 {
+					e.After(f.Recover, func() { e.RecoverServer(s) })
+				}
+			}
+		}
+	}
+}
+
+// RandomFaultPlan builds a seeded plan of n faults spread over
+// [0, horizon) across a cluster of `servers` servers: a deterministic
+// mix of transient task faults, slowdowns, fail-stops (half of them
+// with recovery) and small correlated group failures. Server indices
+// listed in protect are exempt from fail-stop faults (they may still
+// be slowed or suffer task faults) — pass the reduce-hosting servers
+// to keep a job's unreplicated reduce state alive.
+func RandomFaultPlan(seed int64, n, servers int, horizon float64, protect ...int) FaultPlan {
+	if n <= 0 || servers <= 0 || horizon <= 0 {
+		return FaultPlan{}
+	}
+	prot := make(map[int]bool, len(protect))
+	for _, i := range protect {
+		prot[i] = true
+	}
+	rng := stats.NewRand(seed)
+	var plan FaultPlan
+	for i := 0; i < n; i++ {
+		at := rng.Float64() * horizon
+		target := rng.Intn(servers)
+		kind := rng.Intn(4)
+		if (kind == 2 || kind == 3) && prot[target] {
+			kind = 0 // protected servers degrade to a transient task fault
+		}
+		switch kind {
+		case 0:
+			plan.Faults = append(plan.Faults, Fault{At: at, Kind: FaultTask, Server: target})
+		case 1:
+			plan.Faults = append(plan.Faults, Fault{
+				At: at, Kind: FaultSlow, Server: target,
+				Factor: 0.25 + rng.Float64()*0.75,
+			})
+		case 2:
+			rec := 0.0
+			if rng.Intn(2) == 0 {
+				rec = horizon * (0.1 + 0.4*rng.Float64())
+			}
+			plan.Faults = append(plan.Faults, Fault{
+				At: at, Kind: FaultServer, Server: target, Recover: rec,
+			})
+		case 3:
+			// Correlated "rack" failure: a run of consecutive indices,
+			// skipping protected servers, always recovering.
+			k := 2 + rng.Intn(2)
+			var group []int
+			for j := 0; j < k; j++ {
+				s := (target + j) % servers
+				if !prot[s] {
+					group = append(group, s)
+				}
+			}
+			if len(group) == 0 {
+				plan.Faults = append(plan.Faults, Fault{At: at, Kind: FaultTask, Server: target})
+				continue
+			}
+			plan.Faults = append(plan.Faults, Fault{
+				At: at, Kind: FaultGroup, Servers: group,
+				Recover: horizon * (0.1 + 0.3*rng.Float64()),
+			})
+		}
+	}
+	sort.SliceStable(plan.Faults, func(i, j int) bool { return plan.Faults[i].At < plan.Faults[j].At })
+	return plan
+}

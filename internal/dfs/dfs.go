@@ -47,6 +47,28 @@ func (b *Block) Open() io.ReadCloser {
 // ID returns a human-readable block identifier.
 func (b *Block) ID() string { return fmt.Sprintf("%s#%d", b.FileName, b.Index) }
 
+// LiveReplicas returns the subset of b's replicas for which alive
+// reports true — the replicas that survive server failures. Schedulers
+// pass the cluster's liveness predicate so replica loss tracks server
+// death (and recovery) on the virtual timeline.
+func (b *Block) LiveReplicas(alive func(serverID string) bool) []string {
+	var live []string
+	for _, r := range b.Replicas {
+		if alive(r) {
+			live = append(live, r)
+		}
+	}
+	return live
+}
+
+// Unrunnable reports whether b has registered replicas but none of
+// them is alive: the block's data is gone and no map task can read it.
+// A block with no registered replicas (never stored through a
+// NameNode) is always runnable — there is no placement to lose.
+func (b *Block) Unrunnable(alive func(serverID string) bool) bool {
+	return len(b.Replicas) > 0 && len(b.LiveReplicas(alive)) == 0
+}
+
 // File is an immutable sequence of blocks registered with a NameNode.
 type File struct {
 	Name   string
@@ -62,13 +84,16 @@ func (f *File) Size() int64 {
 	return s
 }
 
-// NameNode maintains file metadata and block replica placement.
+// NameNode maintains file metadata and block replica placement, plus
+// DataNode liveness (HDFS's heartbeat view): servers marked down stop
+// counting as replica holders until marked up again.
 type NameNode struct {
 	mu          sync.RWMutex
 	files       map[string]*File
 	servers     []string
 	replication int
 	nextServer  int
+	down        map[string]bool
 }
 
 // NewNameNode creates a NameNode managing the given DataNode servers
@@ -86,7 +111,37 @@ func NewNameNode(servers []string, replication int) *NameNode {
 		files:       make(map[string]*File),
 		servers:     cp,
 		replication: replication,
+		down:        make(map[string]bool),
 	}
+}
+
+// MarkDown records a DataNode as dead: its replicas stop counting as
+// live until MarkUp.
+func (nn *NameNode) MarkDown(serverID string) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	nn.down[serverID] = true
+}
+
+// MarkUp records a DataNode as alive again (rejoin after recovery);
+// its replicas count as live once more, mirroring an HDFS DataNode
+// re-registering its block reports.
+func (nn *NameNode) MarkUp(serverID string) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	delete(nn.down, serverID)
+}
+
+// Alive reports whether a DataNode is currently considered live.
+func (nn *NameNode) Alive(serverID string) bool {
+	nn.mu.RLock()
+	defer nn.mu.RUnlock()
+	return !nn.down[serverID]
+}
+
+// LiveReplicas returns b's replicas on DataNodes not marked down.
+func (nn *NameNode) LiveReplicas(b *Block) []string {
+	return b.LiveReplicas(nn.Alive)
 }
 
 // Servers returns the registered DataNode server IDs.

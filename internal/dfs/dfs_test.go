@@ -179,3 +179,41 @@ func TestBlockID(t *testing.T) {
 		t.Errorf("ID = %q", b.ID())
 	}
 }
+
+// TestReplicaLiveness covers the failure-model queries: live-replica
+// filtering, the unrunnable condition, and NameNode liveness tracking.
+func TestReplicaLiveness(t *testing.T) {
+	nn := NewNameNode([]string{"s0", "s1", "s2"}, 2)
+	f := SplitText("r.txt", []byte("a\nb\nc\nd\n"), 2)
+	if err := nn.Register(f); err != nil {
+		t.Fatal(err)
+	}
+	b := f.Blocks[0]
+	if len(b.Replicas) != 2 {
+		t.Fatalf("expected 2 replicas, got %v", b.Replicas)
+	}
+	if got := nn.LiveReplicas(b); len(got) != 2 {
+		t.Errorf("all replicas should be live initially: %v", got)
+	}
+	nn.MarkDown(b.Replicas[0])
+	if got := nn.LiveReplicas(b); len(got) != 1 || got[0] != b.Replicas[1] {
+		t.Errorf("one replica should survive: %v", got)
+	}
+	if b.Unrunnable(nn.Alive) {
+		t.Error("block with a live replica must stay runnable")
+	}
+	nn.MarkDown(b.Replicas[1])
+	if !b.Unrunnable(nn.Alive) {
+		t.Error("block with no live replicas must be unrunnable")
+	}
+	nn.MarkUp(b.Replicas[1])
+	if b.Unrunnable(nn.Alive) {
+		t.Error("recovery must restore the replica")
+	}
+	// A block never registered with a NameNode has no placement to
+	// lose and is always runnable.
+	loose := NewByteBlock("loose", 0, []byte("x"), 1)
+	if loose.Unrunnable(func(string) bool { return false }) {
+		t.Error("replica-less block must always be runnable")
+	}
+}

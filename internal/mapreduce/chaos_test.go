@@ -2,6 +2,8 @@ package mapreduce
 
 import (
 	"math/rand"
+	"os"
+	"strconv"
 	"testing"
 
 	"approxhadoop/internal/cluster"
@@ -135,10 +137,164 @@ func TestChaosControllerInvariants(t *testing.T) {
 	}
 }
 
+// chaosSeedBase returns the base seed for fault-plan chaos trials.
+// CI's seed matrix sets APPROX_CHAOS_SEED to sweep disjoint seed
+// ranges; locally it defaults to 0.
+func chaosSeedBase(t *testing.T) int64 {
+	v := os.Getenv("APPROX_CHAOS_SEED")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		t.Fatalf("APPROX_CHAOS_SEED=%q: %v", v, err)
+	}
+	return n
+}
+
+// TestChaosUnderFaultPlan runs jobs under randomized fault plans
+// (task faults, fail-stops, slowdowns, rack failures, recoveries) and
+// verifies the scheduler's invariants. With DegradeToDrop off and
+// unlimited retries, every completing job must produce exact results:
+// faults may cost time, never correctness.
+func TestChaosUnderFaultPlan(t *testing.T) {
+	input, want := wordCountInput(t, 64)
+	base := chaosSeedBase(t)
+	for trial := 0; trial < 25; trial++ {
+		seed := base*1000 + int64(trial)
+		cfg := cluster.DefaultConfig()
+		cfg.Servers = 4
+		cfg.MapSlotsPerServer = 2
+		cfg.Seed = seed
+		eng := cluster.New(cfg)
+
+		degrade := trial%2 == 1
+		// Reduces land round-robin on servers 0 and 1; protect them
+		// from fail-stops (reduce state is not replicated) so the only
+		// acceptable outcome is completion.
+		plan := cluster.RandomFaultPlan(seed*7+1, 3+trial%4, cfg.Servers, 4.0, 0, 1)
+		var events []Event
+		job := &Job{
+			Input:         input,
+			NewMapper:     wordCountMapper,
+			NewReduce:     func(int) ReduceLogic { return SumReduce() },
+			Reduces:       2,
+			Cost:          cluster.AnalyticCost{T0: 1, Tr: 0.001, Tp: 0.001},
+			Seed:          seed,
+			Speculation:   trial%3 == 0,
+			SleepIdle:     trial%5 == 0,
+			Faults:        &plan,
+			DegradeToDrop: degrade,
+			Retry: RetryPolicy{
+				MaxAttemptsPerTask: map[bool]int{false: 0, true: 3}[degrade],
+				Backoff:            float64(trial%3) * 0.5,
+				BlacklistAfter:     map[bool]int{false: 0, true: 4}[degrade],
+			},
+			Trace: func(e Event) { events = append(events, e) },
+		}
+		res, err := Run(eng, job)
+		if err != nil {
+			t.Fatalf("trial %d (seed %d): %v", trial, seed, err)
+		}
+		c := res.Counters
+
+		// Accounting: every logical task completes or is degraded
+		// (nothing is dropped/killed by a controller here).
+		if c.MapsCompleted+c.MapsDegraded != c.MapsTotal {
+			t.Errorf("trial %d: completed %d + degraded %d != total %d",
+				trial, c.MapsCompleted, c.MapsDegraded, c.MapsTotal)
+		}
+		if !degrade && c.MapsDegraded != 0 {
+			t.Errorf("trial %d: degraded %d tasks with DegradeToDrop off", trial, c.MapsDegraded)
+		}
+		// Launch/termination pairing: failures count as terminations.
+		launches, terminations := 0, 0
+		for _, e := range events {
+			switch e.Kind {
+			case EventMapLaunched, EventMapSpeculated:
+				launches++
+			case EventMapCompleted, EventMapKilled, EventMapFailed:
+				terminations++
+			}
+		}
+		if launches != terminations {
+			t.Errorf("trial %d: %d launches vs %d terminations", trial, launches, terminations)
+		}
+		// No slot leaks on surviving servers.
+		for _, s := range eng.Servers() {
+			if s.Dead() {
+				continue
+			}
+			if s.Busy(cluster.MapSlot) != 0 || s.Busy(cluster.ReduceSlot) != 0 {
+				t.Errorf("trial %d: slot leak on %s", trial, s.ID)
+			}
+		}
+		// Correctness: exact results whenever nothing was degraded.
+		if c.MapsDegraded == 0 {
+			for _, o := range res.Outputs {
+				if !o.Exact || !stats.AlmostEqual(o.Est.Value, want[o.Key], 1e-9) {
+					t.Errorf("trial %d: %s = %v exact=%v, want exact %v",
+						trial, o.Key, o.Est.Value, o.Exact, want[o.Key])
+				}
+			}
+		} else {
+			for _, o := range res.Outputs {
+				if o.Exact {
+					t.Errorf("trial %d: exact output %s despite %d degraded maps",
+						trial, o.Key, c.MapsDegraded)
+				}
+			}
+		}
+	}
+}
+
+// TestChaosFaultPlanDeterministic replays one faulted trial twice and
+// requires identical traces: fault injection must be as reproducible
+// as the rest of the simulator.
+func TestChaosFaultPlanDeterministic(t *testing.T) {
+	input, _ := wordCountInput(t, 64)
+	runOnce := func() []Event {
+		cfg := cluster.DefaultConfig()
+		cfg.Servers = 4
+		cfg.MapSlotsPerServer = 2
+		cfg.Seed = 5
+		eng := cluster.New(cfg)
+		plan := cluster.RandomFaultPlan(42, 5, cfg.Servers, 4.0, 0, 1)
+		var events []Event
+		job := &Job{
+			Input:         input,
+			NewMapper:     wordCountMapper,
+			NewReduce:     func(int) ReduceLogic { return SumReduce() },
+			Reduces:       2,
+			Cost:          cluster.AnalyticCost{T0: 1, Tr: 0.001, Tp: 0.001},
+			Seed:          5,
+			Faults:        &plan,
+			DegradeToDrop: true,
+			Retry:         RetryPolicy{MaxAttemptsPerTask: 2, Backoff: 0.5, BlacklistAfter: 3},
+			Trace:         func(e Event) { events = append(events, e) },
+		}
+		if _, err := Run(eng, job); err != nil {
+			t.Fatal(err)
+		}
+		return events
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
 // TestTraceEventStrings covers the String methods.
 func TestTraceEventStrings(t *testing.T) {
 	kinds := []EventKind{EventMapLaunched, EventMapCompleted, EventMapKilled,
-		EventMapDropped, EventMapSpeculated, EventReduceFinished, EventJobCompleted, EventKind(99)}
+		EventMapDropped, EventMapSpeculated, EventMapFailed, EventMapRetried,
+		EventMapDegraded, EventServerBlacklisted, EventReduceFinished,
+		EventJobCompleted, EventKind(99)}
 	for _, k := range kinds {
 		if k.String() == "" {
 			t.Errorf("empty string for kind %d", k)

@@ -1,10 +1,11 @@
 package mapreduce
 
 import (
-	"approxhadoop/internal/stats"
+	"strings"
 	"testing"
 
 	"approxhadoop/internal/cluster"
+	"approxhadoop/internal/stats"
 )
 
 // TestMapTaskReexecutionOnServerFailure fail-stops a server mid-job
@@ -76,8 +77,70 @@ func TestReduceServerFailureFailsJob(t *testing.T) {
 		Reduces:   1,
 		Cost:      cluster.AnalyticCost{T0: 5, Tr: 0.001, Tp: 0.001},
 	}
-	if _, err := Run(eng, job); err == nil {
+	_, err := Run(eng, job)
+	if err == nil {
 		t.Fatal("losing the reduce server should fail the job")
+	}
+	// The error must identify the lost partition and the failed server.
+	if !strings.Contains(err.Error(), "reduce partition") || !strings.Contains(err.Error(), "server-00") {
+		t.Errorf("want a descriptive reduce-loss error, got: %v", err)
+	}
+}
+
+// TestReduceServerFailureEvenWithDegrade: DegradeToDrop covers map-side
+// losses only; reduce state is unreplicated, so losing a reduce host
+// still aborts with the same descriptive error.
+func TestReduceServerFailureEvenWithDegrade(t *testing.T) {
+	input, _ := wordCountInput(t, 64)
+	cfg := cluster.DefaultConfig()
+	cfg.Servers = 4
+	cfg.MapSlotsPerServer = 2
+	eng := cluster.New(cfg)
+	eng.ScheduleFailure(eng.Servers()[0], 1.0)
+	job := &Job{
+		Input:         input,
+		NewMapper:     wordCountMapper,
+		NewReduce:     func(int) ReduceLogic { return SumReduce() },
+		Reduces:       1,
+		Cost:          cluster.AnalyticCost{T0: 5, Tr: 0.001, Tp: 0.001},
+		DegradeToDrop: true,
+	}
+	_, err := Run(eng, job)
+	if err == nil {
+		t.Fatal("reduce loss is unrecoverable even under DegradeToDrop")
+	}
+	if !strings.Contains(err.Error(), "reduce partition") {
+		t.Errorf("want a descriptive reduce-loss error, got: %v", err)
+	}
+}
+
+// TestServerFailureAfterCompletionHarmless schedules a failure on the
+// engine timeline past the job's end: the job must be unaffected.
+func TestServerFailureAfterCompletionHarmless(t *testing.T) {
+	input, want := wordCountInput(t, 64)
+	cfg := cluster.DefaultConfig()
+	cfg.Servers = 4
+	cfg.MapSlotsPerServer = 2
+	eng := cluster.New(cfg)
+	eng.ScheduleFailure(eng.Servers()[0], 1e6)
+	job := &Job{
+		Input:     input,
+		NewMapper: wordCountMapper,
+		NewReduce: func(int) ReduceLogic { return SumReduce() },
+		Reduces:   2,
+		Cost:      cluster.AnalyticCost{T0: 1, Tr: 0.001, Tp: 0.001},
+	}
+	res, err := Run(eng, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.MapsFailed != 0 || res.Counters.MapsCompleted != res.Counters.MapsTotal {
+		t.Errorf("post-completion failure must not affect the job: %+v", res.Counters)
+	}
+	for _, o := range res.Outputs {
+		if !o.Exact || !stats.AlmostEqual(o.Est.Value, want[o.Key], 1e-9) {
+			t.Errorf("%s = %v exact=%v, want exact %v", o.Key, o.Est.Value, o.Exact, want[o.Key])
+		}
 	}
 }
 

@@ -9,6 +9,32 @@ import (
 	"approxhadoop/internal/vtime"
 )
 
+// RetryPolicy bounds the JobTracker's response to task attempts lost
+// to faults. The zero value reproduces classic Hadoop semantics:
+// unlimited immediate re-execution, no blacklisting, no deadline.
+type RetryPolicy struct {
+	// MaxAttemptsPerTask caps launches (first attempt + retries) of
+	// one logical map task; a task whose last allowed attempt fails is
+	// exhausted — degraded to a dropped cluster under DegradeToDrop,
+	// otherwise a job error. 0 = unlimited.
+	MaxAttemptsPerTask int
+	// Backoff is the virtual-time delay before re-queuing a failed
+	// task, doubling per failed attempt (exponential backoff). 0 =
+	// immediate re-queue.
+	Backoff float64
+	// BlacklistAfter removes a server from map scheduling after it has
+	// hosted this many failed attempts (Hadoop's TaskTracker
+	// blacklisting). Blacklisting does not destroy the server's block
+	// replicas and does not touch work already running there. 0 =
+	// never blacklist.
+	BlacklistAfter int
+	// JobDeadline is a virtual-time budget for the map phase, measured
+	// from job start. When it expires with maps still unfinished, the
+	// remaining tasks are degraded to drops under DegradeToDrop;
+	// otherwise the job fails. 0 = no deadline.
+	JobDeadline float64
+}
+
 // Job describes one MapReduce job. The zero values of optional fields
 // select sensible defaults (see Validate).
 type Job struct {
@@ -75,6 +101,30 @@ type Job struct {
 	// for the rest of the job (the paper's Section 5.4 energy mode).
 	SleepIdle bool
 
+	// Retry bounds fault recovery (attempt caps, backoff, server
+	// blacklisting, a map-phase deadline). The zero value retries
+	// forever, immediately, like stock Hadoop.
+	Retry RetryPolicy
+
+	// DegradeToDrop turns unrecoverable map-task failures into
+	// statistically-bounded drops: a task that exhausts its retry
+	// budget, loses every block replica, or is cut off by the job
+	// deadline is folded into the estimator's dropped-cluster count —
+	// the same accounting as a deliberately dropped map — so the job
+	// completes with Exact=false outputs and valid (wider) confidence
+	// intervals instead of failing. Off, such failures abort the job
+	// with a descriptive error (today's semantics). Meaningful for
+	// multi-stage-sampling reducers; precise reducers still finish but
+	// report unknown (NaN) error bounds, exactly as for deliberate
+	// drops.
+	DegradeToDrop bool
+
+	// Faults, when non-nil, is injected into the engine at job start
+	// (fault times relative to submission). Convenience for
+	// single-job engines; multi-job timelines can call Engine.Inject
+	// directly.
+	Faults *cluster.FaultPlan
+
 	// Trace, when set, receives scheduling events in virtual-time
 	// order (launches, completions, kills, drops, speculation).
 	Trace Tracer
@@ -119,6 +169,12 @@ func (j *Job) Validate(eng *cluster.Engine) error {
 	}
 	if j.SpecFactor <= 1 {
 		j.SpecFactor = 2.0
+	}
+	if j.Retry.MaxAttemptsPerTask < 0 {
+		j.Retry.MaxAttemptsPerTask = 0
+	}
+	if j.Retry.Backoff < 0 || j.Retry.BlacklistAfter < 0 || j.Retry.JobDeadline < 0 {
+		return errors.New("mapreduce: RetryPolicy fields must be non-negative")
 	}
 	if j.Name == "" {
 		j.Name = "job"

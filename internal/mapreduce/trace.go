@@ -13,6 +13,9 @@ const (
 	EventMapDropped
 	EventMapSpeculated
 	EventMapFailed
+	EventMapRetried
+	EventMapDegraded
+	EventServerBlacklisted
 	EventReduceFinished
 	EventJobCompleted
 )
@@ -31,6 +34,12 @@ func (k EventKind) String() string {
 		return "map-speculated"
 	case EventMapFailed:
 		return "map-failed"
+	case EventMapRetried:
+		return "map-retried"
+	case EventMapDegraded:
+		return "map-degraded"
+	case EventServerBlacklisted:
+		return "server-blacklisted"
 	case EventReduceFinished:
 		return "reduce-finished"
 	case EventJobCompleted:

@@ -48,6 +48,14 @@ type tracker struct {
 	attempts  map[int][]*cluster.RunningTask // running attempts per task
 	durations []float64                      // virtual durations of completed attempts
 
+	// Failure-aware scheduling state (RetryPolicy + DegradeToDrop).
+	attemptsMade []int                      // launches (incl. retries) per task
+	serverByID   map[string]*cluster.Server // engine servers by ID for replica liveness
+	serverFaults map[string]int             // failed attempts attributed per server
+	blacklist    map[string]bool            // servers removed from map scheduling
+	backoffOut   int                        // retry timers not yet fired
+	deadlineHit  bool                       // JobDeadline expired (DegradeToDrop mode)
+
 	reduces     []*reduceTask
 	reducesLeft int
 
@@ -78,16 +86,23 @@ func Run(eng *cluster.Engine, job *Job) (*Result, error) {
 		return nil, err
 	}
 	t := &tracker{
-		eng:      eng,
-		job:      job,
-		blocks:   job.Input.Blocks,
-		attempts: make(map[int][]*cluster.RunningTask),
-		curRatio: 1,
+		eng:          eng,
+		job:          job,
+		blocks:       job.Input.Blocks,
+		attempts:     make(map[int][]*cluster.RunningTask),
+		curRatio:     1,
+		serverByID:   make(map[string]*cluster.Server),
+		serverFaults: make(map[string]int),
+		blacklist:    make(map[string]bool),
 	}
 	n := len(t.blocks)
 	t.state = make([]taskState, n)
 	t.ratios = make([]float64, n)
+	t.attemptsMade = make([]int, n)
 	t.counters.MapsTotal = n
+	for _, s := range eng.Servers() {
+		t.serverByID[s.ID] = s
+	}
 
 	rng := stats.NewRand(job.Seed)
 	if job.SequentialOrder {
@@ -104,8 +119,12 @@ func Run(eng *cluster.Engine, job *Job) (*Result, error) {
 	t.startTime = eng.Now()
 	t.startEnergy = eng.EnergyWh()
 	t.startBreak = eng.EnergyBreakdown()
+	eng.Inject(job.Faults)
 	if err := t.startReduces(); err != nil {
 		return nil, err
+	}
+	if job.Retry.JobDeadline > 0 {
+		eng.After(job.Retry.JobDeadline, t.onDeadline)
 	}
 	if job.OnSnapshot != nil && job.SnapshotEvery > 0 && !job.Barrier {
 		eng.After(job.SnapshotEvery, t.snapshotTick)
@@ -141,11 +160,15 @@ func (t *tracker) startReduces() error {
 		}
 		r := &reduceTask{partition: p, logic: t.job.NewReduce(p), server: srv}
 		part := p
+		hostID := srv.ID
 		r.handle = t.eng.StartOpenTask(srv, cluster.ReduceSlot, func(killed bool) {
 			if killed {
 				// Reduce state is not replicated; losing its server
-				// loses the partition (documented limitation).
-				t.fail(fmt.Errorf("mapreduce: reduce partition %d lost to server failure", part))
+				// loses the partition's accumulated shuffle, so the
+				// job fails — even under DegradeToDrop, which bounds
+				// lost map *inputs*, not lost reduce *state*
+				// (documented limitation).
+				t.fail(fmt.Errorf("mapreduce: reduce partition %d lost: server %s failed and reduce state is not replicated", part, hostID))
 			}
 		})
 		t.reduces = append(t.reduces, r)
@@ -174,20 +197,25 @@ func (t *tracker) fill() {
 	if t.failErr != nil || t.finalizing {
 		return
 	}
-	// Re-execute tasks lost to server failures before new work, at
-	// their original sampling ratio (Hadoop re-runs failed tasks
-	// without consulting the job's approximation settings again).
+	// Re-execute tasks lost to faults before new work, at their
+	// original sampling ratio (Hadoop re-runs failed tasks without
+	// consulting the job's approximation settings again).
 	for len(t.retry) > 0 {
 		idx := t.retry[0]
 		if t.state[idx] != taskPending {
 			t.retry = t.retry[1:]
 			continue
 		}
+		if t.unrunnable(idx) {
+			t.retry = t.retry[1:]
+			if !t.degradeUnrunnable(idx) {
+				return
+			}
+			continue
+		}
 		srv := t.pickServer(t.blocks[idx])
 		if srv == nil {
-			if !t.anyServerAlive() {
-				t.fail(fmt.Errorf("mapreduce: all servers failed with tasks outstanding"))
-			}
+			t.handleStall()
 			return
 		}
 		ratio := t.ratios[idx]
@@ -203,6 +231,13 @@ func (t *tracker) fill() {
 	for t.nextOrd < len(t.order) {
 		idx := t.order[t.nextOrd]
 		if t.state[idx] != taskPending {
+			t.nextOrd++
+			continue
+		}
+		if t.unrunnable(idx) {
+			if !t.degradeUnrunnable(idx) {
+				return
+			}
 			t.nextOrd++
 			continue
 		}
@@ -234,7 +269,8 @@ func (t *tracker) fill() {
 		}
 		srv := t.pickServer(t.blocks[idx])
 		if srv == nil {
-			break // no free map slots anywhere
+			t.handleStall()
+			break // no free map slots anywhere right now
 		}
 		t.launch(idx, srv, ratio)
 		if t.failErr != nil {
@@ -242,17 +278,21 @@ func (t *tracker) fill() {
 		}
 		t.nextOrd++
 	}
+	if t.failErr != nil {
+		return
+	}
 	t.maybeSpeculate()
 	t.maybeSleepIdle()
 	t.checkCompletion()
 }
 
-// pickServer chooses a server with a free map slot, preferring the
-// block's replica holders (data locality, like Hadoop's JobTracker).
+// pickServer chooses a non-blacklisted server with a free map slot,
+// preferring the block's surviving replica holders (data locality,
+// like Hadoop's JobTracker).
 func (t *tracker) pickServer(b *dfs.Block) *cluster.Server {
 	var fallback *cluster.Server
 	for _, s := range t.eng.Servers() {
-		if s.FreeSlots(cluster.MapSlot) <= 0 {
+		if t.blacklist[s.ID] || s.FreeSlots(cluster.MapSlot) <= 0 {
 			continue
 		}
 		for _, rep := range b.Replicas {
@@ -265,6 +305,190 @@ func (t *tracker) pickServer(b *dfs.Block) *cluster.Server {
 		}
 	}
 	return fallback
+}
+
+// serverAlive is the liveness predicate handed to dfs replica queries.
+func (t *tracker) serverAlive(id string) bool {
+	s, ok := t.serverByID[id]
+	return ok && !s.Dead()
+}
+
+// unrunnable reports whether a task's block has lost every replica to
+// server failures (blocks never registered with a NameNode have no
+// placement to lose and are always runnable).
+func (t *tracker) unrunnable(idx int) bool {
+	return t.blocks[idx].Unrunnable(t.serverAlive)
+}
+
+// degradeUnrunnable resolves a task whose block has no surviving
+// replica: degraded to a dropped cluster under DegradeToDrop (return
+// true), otherwise a job failure (return false).
+func (t *tracker) degradeUnrunnable(idx int) bool {
+	if t.job.DegradeToDrop {
+		t.degrade(idx, "")
+		return true
+	}
+	b := t.blocks[idx]
+	t.fail(fmt.Errorf("mapreduce: map task %d unrunnable: all %d replicas of block %s lost to server failures",
+		idx, len(b.Replicas), b.ID()))
+	return false
+}
+
+// degrade folds a pending task into the dropped-cluster count: the
+// estimators treat it exactly like a deliberately dropped map, so its
+// absence widens the confidence interval instead of failing the job.
+func (t *tracker) degrade(idx int, server string) {
+	if t.state[idx] != taskPending {
+		return
+	}
+	t.state[idx] = taskDropped
+	t.dropped++
+	t.counters.MapsDegraded++
+	t.emit(EventMapDegraded, idx, server, 0)
+}
+
+// anySchedulableServer reports whether some server can ever host map
+// work again: alive and not blacklisted (asleep is fine — sleepers are
+// woken on demand).
+func (t *tracker) anySchedulableServer() bool {
+	for _, s := range t.eng.Servers() {
+		if !s.Dead() && !t.blacklist[s.ID] {
+			return true
+		}
+	}
+	return false
+}
+
+// wakeSleepers wakes alive, non-blacklisted servers put to S3 by
+// SleepIdle; pending work (a retry after the map phase seemed over)
+// needs their slots back. Reports whether any server was woken.
+func (t *tracker) wakeSleepers() bool {
+	woke := false
+	for _, s := range t.eng.Servers() {
+		if s.Asleep() && !s.Dead() && !t.blacklist[s.ID] {
+			t.eng.Wake(s)
+			woke = true
+		}
+	}
+	return woke
+}
+
+// handleStall is called when pending tasks exist but no server could
+// take one. If progress is still possible — attempts running, retry
+// timers pending, or a sleeping server that can be woken — it waits
+// (or wakes). Otherwise the job can never finish: under DegradeToDrop
+// the pending tasks become statistically-bounded drops; otherwise the
+// job fails with a clear error instead of stalling forever.
+func (t *tracker) handleStall() {
+	if t.runningCount() > 0 || t.backoffOut > 0 {
+		return // in-flight work or a timer will trigger another pass
+	}
+	if t.wakeSleepers() {
+		t.scheduleFill()
+		return
+	}
+	if t.anySchedulableServer() {
+		return
+	}
+	if t.job.DegradeToDrop {
+		for idx, st := range t.state {
+			if st == taskPending {
+				t.degrade(idx, "")
+			}
+		}
+		t.checkCompletion()
+		return
+	}
+	alive := 0
+	for _, s := range t.eng.Servers() {
+		if !s.Dead() {
+			alive++
+		}
+	}
+	t.fail(fmt.Errorf("mapreduce: %d map tasks outstanding but no server can host them (%d alive, %d blacklisted)",
+		t.pendingCount(), alive, len(t.blacklist)))
+}
+
+// noteServerFault attributes a failed attempt to its host and applies
+// RetryPolicy.BlacklistAfter.
+func (t *tracker) noteServerFault(s *cluster.Server) {
+	t.serverFaults[s.ID]++
+	ba := t.job.Retry.BlacklistAfter
+	if ba > 0 && !t.blacklist[s.ID] && t.serverFaults[s.ID] >= ba {
+		t.blacklist[s.ID] = true
+		t.counters.ServersBlacklisted++
+		t.emit(EventServerBlacklisted, -1, s.ID, 0)
+	}
+}
+
+// rescheduleOrDegrade decides the fate of a task whose last running
+// attempt was just lost to a fault: re-queue it (with optional
+// exponential backoff) while the attempt budget lasts; past the
+// budget, degrade to a drop or fail the job.
+func (t *tracker) rescheduleOrDegrade(idx int) {
+	if max := t.job.Retry.MaxAttemptsPerTask; max > 0 && t.attemptsMade[idx] >= max {
+		if t.job.DegradeToDrop {
+			t.state[idx] = taskPending
+			t.degrade(idx, "")
+			return
+		}
+		t.fail(fmt.Errorf("mapreduce: map task %d exhausted its %d attempts (RetryPolicy.MaxAttemptsPerTask)",
+			idx, t.attemptsMade[idx]))
+		return
+	}
+	t.state[idx] = taskPending
+	t.counters.MapsRetried++
+	t.emit(EventMapRetried, idx, "", 0)
+	b := t.job.Retry.Backoff
+	if b <= 0 {
+		t.retry = append(t.retry, idx)
+		return
+	}
+	exp := t.attemptsMade[idx] - 1
+	if exp > 20 {
+		exp = 20 // cap the doubling well below float overflow
+	}
+	delay := b * float64(int64(1)<<uint(exp))
+	t.backoffOut++
+	t.eng.After(delay, func() {
+		t.backoffOut--
+		if t.failErr != nil || t.state[idx] != taskPending {
+			return
+		}
+		t.retry = append(t.retry, idx)
+		t.scheduleFill()
+	})
+}
+
+// onDeadline enforces RetryPolicy.JobDeadline: if the map phase is
+// still running when the budget expires, the remaining tasks are cut
+// off — degraded to drops under DegradeToDrop, a job error otherwise.
+// The reduces then finalize from whatever completed in time.
+func (t *tracker) onDeadline() {
+	if t.failErr != nil || t.finalizing || t.result != nil {
+		return
+	}
+	unfinished := t.pendingCount() + t.runningCount()
+	if unfinished == 0 {
+		return
+	}
+	if !t.job.DegradeToDrop {
+		t.fail(fmt.Errorf("mapreduce: job deadline %gs exceeded with %d map tasks unfinished (RetryPolicy.JobDeadline)",
+			t.job.Retry.JobDeadline, unfinished))
+		return
+	}
+	t.deadlineHit = true
+	for idx, st := range t.state {
+		if st == taskPending {
+			t.degrade(idx, "")
+		}
+	}
+	for idx := 0; idx < len(t.state); idx++ {
+		for _, a := range append([]*cluster.RunningTask(nil), t.attempts[idx]...) {
+			t.eng.Kill(a)
+		}
+	}
+	t.scheduleFill()
 }
 
 // launch executes a map task attempt in-process and schedules its
@@ -283,6 +507,7 @@ func (t *tracker) launch(idx int, srv *cluster.Server, ratio float64) {
 	dur := t.eng.PerturbDuration(t.job.Cost.MapDuration(res.measure))
 	t.state[idx] = taskRunning
 	t.launched++
+	t.attemptsMade[idx]++
 	t.emit(EventMapLaunched, idx, srv.ID, ratio)
 	var handle *cluster.RunningTask
 	handle = t.eng.StartTask(srv, cluster.MapSlot, dur, func(killed bool) {
@@ -306,15 +531,25 @@ func (t *tracker) onMapDone(idx int, handle *cluster.RunningTask, res *mapResult
 	t.attempts[idx] = live
 
 	if killed {
-		if handle.Server.Dead() && t.state[idx] == taskRunning {
-			// Lost to a server failure, not a deliberate kill:
-			// re-execute (fault tolerance), unless a sibling attempt
-			// is still running.
+		if handle.Failed() && t.state[idx] == taskRunning {
+			// Lost to a fault (transient task fault or server death),
+			// not a deliberate kill: apply the retry policy, unless a
+			// sibling attempt is still running.
 			t.counters.MapsFailed++
 			t.emit(EventMapFailed, idx, handle.Server.ID, 0)
+			t.noteServerFault(handle.Server)
+			if len(live) == 0 {
+				t.rescheduleOrDegrade(idx)
+			}
+			t.scheduleFill()
+			return
+		}
+		if t.deadlineHit && t.state[idx] == taskRunning {
+			// Cut off by the job deadline: fold into the dropped-
+			// cluster count rather than the controller-kill count.
 			if len(live) == 0 {
 				t.state[idx] = taskPending
-				t.retry = append(t.retry, idx)
+				t.degrade(idx, handle.Server.ID)
 			}
 			t.scheduleFill()
 			return
@@ -400,8 +635,10 @@ func (t *tracker) applyDirective(d Directive) {
 		t.dropAllPending()
 	}
 	if d.KillRunning {
-		for idx := range t.attempts {
-			for _, a := range t.attempts[idx] {
+		// Index order, not map order: kill callbacks reshape the
+		// schedule and must fire deterministically.
+		for idx := 0; idx < len(t.state); idx++ {
+			for _, a := range append([]*cluster.RunningTask(nil), t.attempts[idx]...) {
 				t.eng.Kill(a)
 			}
 		}
@@ -479,17 +716,6 @@ func (t *tracker) maybeSleepIdle() {
 			_ = t.eng.Sleep(s)
 		}
 	}
-}
-
-// anyServerAlive reports whether at least one server can still host
-// map tasks.
-func (t *tracker) anyServerAlive() bool {
-	for _, s := range t.eng.Servers() {
-		if !s.Dead() {
-			return true
-		}
-	}
-	return false
 }
 
 func (t *tracker) pendingCount() int {
@@ -589,8 +815,8 @@ func (t *tracker) fail(err error) {
 		return
 	}
 	t.failErr = err
-	for idx := range t.attempts {
-		for _, a := range t.attempts[idx] {
+	for idx := 0; idx < len(t.state); idx++ {
+		for _, a := range append([]*cluster.RunningTask(nil), t.attempts[idx]...) {
 			t.eng.Kill(a)
 		}
 	}

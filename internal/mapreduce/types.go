@@ -205,13 +205,18 @@ type Counters struct {
 	MapsCompleted  int
 	MapsDropped    int // never launched
 	MapsKilled     int // launched, then deliberately killed
-	MapsFailed     int // attempts lost to server failures (re-executed)
+	MapsFailed     int // attempts lost to faults (task faults or server death)
+	MapsRetried    int // re-executions queued for failed attempts
+	MapsDegraded   int // tasks degraded to statistically-bounded drops
 	MapsSpeculated int // duplicate attempts launched
-	ItemsTotal     int64
-	ItemsProcessed int64
-	BytesRead      int64
-	PairsShuffled  int64
-	Waves          int
+	// ServersBlacklisted counts servers removed from map scheduling
+	// after RetryPolicy.BlacklistAfter failed attempts.
+	ServersBlacklisted int
+	ItemsTotal         int64
+	ItemsProcessed     int64
+	BytesRead          int64
+	PairsShuffled      int64
+	Waves              int
 }
 
 // Result is the outcome of a job execution.

@@ -7,19 +7,55 @@
 //	approxbench -experiment fig6           # one artifact
 //	approxbench -experiment fig13 -scale 1 # the scaling series
 //
+// Performance work uses the trajectory flags:
+//
+//	approxbench -experiment fig6 -quick -json bench.json     # record
+//	approxbench -experiment fig6 -quick -compare bench.json  # benchstat-style deltas
+//	approxbench -experiment fig7 -cpuprofile cpu.out         # pprof
+//	approxbench -experiment all -parallel 1 -workers 1       # sequential baseline
+//
 // Experiments: table1 table2 fig5 fig6 fig7 fig8 fig9a fig9b fig9c
 // fig10 fig11 fig12 fig13 userdef keyspace ablations all
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"approxhadoop/internal/harness"
 )
+
+// ExpStat is one experiment's recorded cost in a -json trajectory
+// file: wall-clock seconds plus Go heap traffic (alloc bytes and
+// malloc count deltas around the run).
+type ExpStat struct {
+	Name       string  `json:"name"`
+	WallSecs   float64 `json:"wall_secs"`
+	AllocBytes uint64  `json:"alloc_bytes"`
+	Mallocs    uint64  `json:"mallocs"`
+}
+
+// Trajectory is the schema of -json output (e.g. BENCH_pr3.json).
+type Trajectory struct {
+	Scale       float64   `json:"scale"`
+	Reps        int       `json:"reps"`
+	Workers     int       `json:"workers"`
+	Parallel    int       `json:"parallel"`
+	GOMAXPROCS  int       `json:"gomaxprocs"`
+	Note        string    `json:"note,omitempty"`
+	Experiments []ExpStat `json:"experiments"`
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "approxbench: "+format+"\n", args...)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -28,6 +64,13 @@ func main() {
 		reps       = flag.Int("reps", 3, "repetitions per data point")
 		seed       = flag.Int64("seed", 42, "base random seed")
 		quick      = flag.Bool("quick", false, "shortcut for -scale 0.1 -reps 1")
+		parallel   = flag.Int("parallel", 0, "concurrently simulated jobs (0 = GOMAXPROCS, 1 = sequential)")
+		workers    = flag.Int("workers", 0, "map-compute pool size per job (0 = GOMAXPROCS, 1 = inline)")
+		jsonOut    = flag.String("json", "", "write per-experiment wall-clock/alloc stats to this file")
+		compare    = flag.String("compare", "", "print benchstat-style deltas against a previous -json file")
+		note       = flag.String("note", "", "free-form annotation stored in the -json file")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -36,11 +79,24 @@ func main() {
 	cfg.Reps = *reps
 	cfg.Seed = *seed
 	cfg.Out = os.Stdout
+	cfg.Parallel = *parallel
+	cfg.Workers = *workers
 	if *quick {
 		cfg.Scale = 0.1
 		cfg.Reps = 1
 	}
 	r := harness.New(cfg)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	type exp struct {
 		name string
@@ -77,6 +133,15 @@ func main() {
 		}},
 	}
 
+	traj := Trajectory{
+		Scale:      cfg.Scale,
+		Reps:       cfg.Reps,
+		Workers:    *workers,
+		Parallel:   *parallel,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note:       *note,
+	}
+
 	want := strings.ToLower(*experiment)
 	ran := false
 	for _, e := range all {
@@ -84,15 +149,96 @@ func main() {
 			continue
 		}
 		ran = true
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		start := time.Now()
 		if err := e.run(); err != nil {
-			fmt.Fprintf(os.Stderr, "approxbench: %s failed: %v\n", e.name, err)
-			os.Exit(1)
+			fatalf("%s failed: %v", e.name, err)
 		}
-		fmt.Printf("\n[%s completed in %.1fs wall time]\n", e.name, time.Since(start).Seconds())
+		wall := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+		traj.Experiments = append(traj.Experiments, ExpStat{
+			Name:       e.name,
+			WallSecs:   wall,
+			AllocBytes: after.TotalAlloc - before.TotalAlloc,
+			Mallocs:    after.Mallocs - before.Mallocs,
+		})
+		fmt.Printf("\n[%s completed in %.1fs wall time]\n", e.name, wall)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "approxbench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
 	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(traj); err != nil {
+			fatalf("json: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("json: %v", err)
+		}
+	}
+	if *compare != "" {
+		if err := printCompare(*compare, traj); err != nil {
+			fatalf("compare: %v", err)
+		}
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("memprofile: %v", err)
+		}
+	}
+}
+
+// printCompare renders benchstat-style old/new/delta rows for every
+// experiment present in both the baseline file and this run.
+func printCompare(path string, cur Trajectory) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Trajectory
+	if err := json.Unmarshal(data, &base); err != nil {
+		return err
+	}
+	old := map[string]ExpStat{}
+	for _, e := range base.Experiments {
+		old[e.Name] = e
+	}
+	fmt.Printf("\nvs %s (scale=%g reps=%d workers=%d parallel=%d)\n",
+		path, base.Scale, base.Reps, base.Workers, base.Parallel)
+	fmt.Printf("%-12s %12s %12s %8s   %14s %14s %8s\n",
+		"experiment", "old s", "new s", "delta", "old allocs", "new allocs", "delta")
+	for _, e := range cur.Experiments {
+		o, ok := old[e.Name]
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-12s %12.3f %12.3f %7.1f%%   %14d %14d %7.1f%%\n",
+			e.Name, o.WallSecs, e.WallSecs, pctDelta(o.WallSecs, e.WallSecs),
+			o.Mallocs, e.Mallocs, pctDelta(float64(o.Mallocs), float64(e.Mallocs)))
+	}
+	return nil
+}
+
+// pctDelta is the relative change vs a baseline, in percent.
+func pctDelta(base, cur float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return (cur - base) / base * 100
 }

@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"approxhadoop/internal/approx"
@@ -46,8 +48,25 @@ func main() {
 		faults      = flag.Int("faults", 0, "inject N random faults (task faults, fail-stops, slowdowns, rack failures) seeded by -seed")
 		maxAttempts = flag.Int("max-attempts", 0, "cap attempts per map task (0 = unlimited retries)")
 		degrade     = flag.Bool("degrade-to-drop", false, "fold unrecoverable task failures into the estimator's dropped-cluster count instead of failing")
+
+		workers    = flag.Int("workers", 0, "map-compute worker pool size (0 = GOMAXPROCS, 1 = inline); results are identical for any value")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "approxrun: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "approxrun: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var ctl mapreduce.Controller
 	switch {
@@ -126,6 +145,7 @@ func main() {
 	}
 
 	cfg := cluster.DefaultConfig()
+	job.Workers = *workers
 	job.Retry.MaxAttemptsPerTask = *maxAttempts
 	job.DegradeToDrop = *degrade
 	if *faults > 0 {
@@ -150,6 +170,22 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "approxrun: %v\n", err)
 		os.Exit(1)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "approxrun: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "approxrun: memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "approxrun: memprofile: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	switch *format {

@@ -23,6 +23,7 @@ var fixtureCases = []struct{ dir, path string }{
 	{"nopanic", "example.test/lib"},
 	{"errcheck", "example.test/errs"},
 	{"ignore", "example.test/ignored"},
+	{"sharedstate", "example.test/compute"},
 }
 
 // wantRe matches expected-diagnostic comments in fixtures:

@@ -8,6 +8,7 @@ func All() []*Analyzer {
 		Nofloateq,
 		Nopanic,
 		Errcheck,
+		Sharedstate,
 	}
 }
 

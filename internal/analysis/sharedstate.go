@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// computeDirective marks a function as compute-plane root: it (and
+// every same-package function statically reachable from it) may run on
+// a worker-pool goroutine concurrently with the virtual-time
+// scheduler, so it must be a pure function of its arguments.
+const computeDirective = "//approx:compute"
+
+// schedulerPlaneTypes are the type names whose state belongs to the
+// single-threaded virtual-time plane. Any selector on a value of such
+// a type inside compute-plane code is a data race waiting to happen
+// (and, even when benign, makes results depend on pool scheduling).
+var schedulerPlaneTypes = map[string]bool{
+	"tracker":     true,
+	"Engine":      true,
+	"Server":      true,
+	"RunningTask": true,
+}
+
+// Sharedstate enforces the two-plane execution contract of the
+// worker-pool simulator: functions marked //approx:compute, plus
+// everything they statically reach inside the same package, must not
+// touch scheduler/engine state, the shared Job.Meter, or package-level
+// variables. The closure is intra-package and by identifier, so calls
+// through interfaces (readers, mappers) are not followed — their
+// implementations earn the directive themselves when they live in a
+// simulator package.
+var Sharedstate = &Analyzer{
+	Name: "sharedstate",
+	Doc: "forbid compute-plane code (functions marked //approx:compute and their " +
+		"same-package callees) from touching scheduler-plane state: selectors on " +
+		"tracker/Engine/Server/RunningTask values, the shared Job.Meter, and writes " +
+		"to package-level variables; map compute runs on pool goroutines " +
+		"concurrently with the virtual-time scheduler and must stay pure",
+	Run: runSharedstate,
+}
+
+func runSharedstate(p *Pass) {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var roots []*types.Func
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[obj] = fd
+			if fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					if strings.TrimSpace(c.Text) == computeDirective {
+						roots = append(roots, obj)
+					}
+				}
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+	// Transitive closure over intra-package calls (functions and
+	// methods alike: every callee identifier resolves through
+	// Info.Uses, including the Sel of a method call).
+	marked := map[*types.Func]bool{}
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if marked[fn] {
+			return
+		}
+		marked[fn] = true
+		fd := decls[fn]
+		if fd == nil || fd.Body == nil {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			callee, ok := p.Info.Uses[id].(*types.Func)
+			if !ok || decls[callee] == nil {
+				return true
+			}
+			// A method on a scheduler-plane type is scheduler-plane
+			// code, not part of the compute closure: the call site
+			// itself is flagged as the violation.
+			if recv := callee.Type().(*types.Signature).Recv(); recv != nil {
+				if named := derefNamed(recv.Type()); named != nil && schedulerPlaneTypes[named.Obj().Name()] {
+					return true
+				}
+			}
+			visit(callee)
+			return true
+		})
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	for fn := range marked {
+		fd := decls[fn]
+		if fd == nil || fd.Body == nil {
+			continue
+		}
+		checkComputeBody(p, fd)
+	}
+}
+
+// checkComputeBody reports every scheduler-plane touch inside one
+// compute-plane function body.
+func checkComputeBody(p *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			t := p.Info.Types[n.X].Type
+			if t == nil {
+				return true
+			}
+			named := derefNamed(t)
+			if named == nil {
+				return true
+			}
+			obj := named.Obj()
+			if schedulerPlaneTypes[obj.Name()] && fromSchedulerPlane(p, obj) {
+				p.Reportf(n.Pos(),
+					"compute-plane function %s touches scheduler-plane %s state (.%s); code reachable from %s runs on pool goroutines and must stay pure",
+					name, obj.Name(), n.Sel.Name, computeDirective)
+			}
+			if obj.Name() == "Job" && n.Sel.Name == "Meter" {
+				p.Reportf(n.Pos(),
+					"compute-plane function %s reads the shared Job.Meter; fork a per-attempt meter (vtime.Fork) at decide time instead",
+					name)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkPkgVarWrite(p, name, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkPkgVarWrite(p, name, n.X)
+		}
+		return true
+	})
+}
+
+// derefNamed unwraps one pointer level and returns the named type, if
+// any.
+func derefNamed(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// fromSchedulerPlane reports whether a named type belongs to this
+// package or the cluster engine package — the two homes of
+// scheduler-plane state (fixtures declare local doubles; the real
+// Engine/Server/RunningTask live in internal/cluster).
+func fromSchedulerPlane(p *Pass, obj *types.TypeName) bool {
+	if obj.Pkg() == nil {
+		return false
+	}
+	if obj.Pkg() == p.Pkg {
+		return true
+	}
+	path := obj.Pkg().Path()
+	return path == "cluster" || strings.HasSuffix(path, "/cluster")
+}
+
+// checkPkgVarWrite reports assignments and inc/dec statements whose
+// target resolves to a package-level variable (of any package).
+func checkPkgVarWrite(p *Pass, fn string, lhs ast.Expr) {
+	var obj types.Object
+	switch e := lhs.(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[e.Sel]
+	default:
+		return
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return
+	}
+	if v.Parent() == v.Pkg().Scope() {
+		p.Reportf(lhs.Pos(),
+			"compute-plane function %s writes package-level variable %s; pool workers share it, so results would depend on pool scheduling",
+			fn, v.Name())
+	}
+}

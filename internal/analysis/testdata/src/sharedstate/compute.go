@@ -1,0 +1,52 @@
+// Package compute poses as a simulator package with worker-pool map
+// compute: run is marked as a compute-plane root, so it and its
+// callees must not touch scheduler-plane state.
+package compute
+
+// Engine doubles for the cluster engine (scheduler plane).
+type Engine struct{ now float64 }
+
+// Now reads the virtual clock.
+func (e *Engine) Now() float64 { return e.now }
+
+// tracker doubles for the job tracker (scheduler plane).
+type tracker struct {
+	eng      *Engine
+	launched int
+}
+
+// Meterlike stands in for vtime.Meter.
+type Meterlike interface{ Charge(float64) }
+
+// Job doubles for the mapreduce job config with its shared meter.
+type Job struct {
+	Meter Meterlike
+	Seed  int64
+}
+
+var totalPairs int
+
+//approx:compute
+func run(job *Job, t *tracker) float64 {
+	totalPairs++    // want: sharedstate
+	m := job.Meter  // want: sharedstate
+	m.Charge(1)
+	return helper(t) + float64(job.Seed)
+}
+
+// helper is reachable from run, so the compute contract extends here.
+func helper(t *tracker) float64 {
+	t.launched++       // want: sharedstate
+	return t.eng.Now() // want: sharedstate sharedstate
+}
+
+// unmarked is NOT reachable from a compute root: the same accesses are
+// legal scheduler-plane code and must not be flagged.
+func unmarked(t *tracker) float64 {
+	t.launched++
+	return t.eng.Now()
+}
+
+// keep the symbols used so the fixture typechecks without imports
+var _ = run
+var _ = unmarked

@@ -410,6 +410,25 @@ func (e *Engine) StartOpenTask(srv *Server, kind SlotKind, onFinish func(killed 
 	return t
 }
 
+// FinishAfter converts an open-ended task into a fixed-duration one:
+// its completion is scheduled d virtual seconds from now, adjusted by
+// the server's speed factor exactly like StartTask. The intended use
+// is two-phase task starts — occupy the slot with StartOpenTask while
+// the task's compute (which determines its duration) is still being
+// produced, then fix the completion once the duration is known at the
+// same virtual instant. Calling it on a finished or killed task is a
+// no-op.
+func (e *Engine) FinishAfter(t *RunningTask, d float64) {
+	if t == nil || t.done {
+		return
+	}
+	if t.Server.speed > 0 {
+		d /= t.Server.speed // x/1 == x exactly, so speed 1 is a no-op
+	}
+	t.Finish = e.now + d
+	e.At(t.Finish, func() { e.finish(t, false) })
+}
+
 // FinishTask completes an open-ended task at the current virtual time.
 func (e *Engine) FinishTask(t *RunningTask) {
 	if t == nil || t.done {

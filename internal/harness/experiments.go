@@ -163,12 +163,22 @@ func (r *Runner) Fig5() (map[string][]Fig5Row, error) {
 		{"5c ProjectPopularity (1% sampling)", func(o apps.Options) *mapreduce.Job { return apps.ProjectPopularity(logf, o) }, 0.01},
 		{"5d PagePopularity (1% sampling)", func(o apps.Options) *mapreduce.Job { return apps.PagePopularity(logf, o) }, 0.01},
 	}
-	out := map[string][]Fig5Row{}
-	for _, p := range panels {
-		rows, err := r.fig5Panel(p.build, p.ratio, 10)
+	// Panels are independent job pairs; simulate them concurrently and
+	// print in panel order.
+	panelRows := make([][]Fig5Row, len(panels))
+	if err := r.parallelMap(len(panels), func(i int) error {
+		rows, err := r.fig5Panel(panels[i].build, panels[i].ratio, 10)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.name, err)
+			return fmt.Errorf("%s: %w", panels[i].name, err)
 		}
+		panelRows[i] = rows
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	out := map[string][]Fig5Row{}
+	for i, p := range panels {
+		rows := panelRows[i]
 		out[p.name] = rows
 		printed := [][]string{}
 		for _, row := range rows {
@@ -202,32 +212,45 @@ func (r *Runner) sweep(title string, build func(apps.Options) *mapreduce.Job) ([
 		return nil, err
 	}
 	precise[0] = p
-	var points []Point
-	rows := [][]string{{"precise", "-", f1(p.Runtime), f1(p.Runtime), f1(p.Runtime), "0%", "0%", f1(p.EnergyWh)}}
+	// Enumerate the grid, then simulate every cell concurrently: cell
+	// results land in indexed slots and render in grid order, so the
+	// table is identical to a sequential sweep.
+	type cell struct{ drop, ratio float64 }
+	var cells []cell
 	for _, drop := range SweepDrops {
 		for _, ratio := range SweepRatios {
 			//lint:ignore nofloateq sweep values are exact literals from SweepDrops/SweepRatios, never computed
 			if drop == 0 && ratio == 1 {
 				continue // that's the precise row
 			}
-			drop, ratio := drop, ratio
-			pt, err := r.repeat(func(rep int) (*mapreduce.Job, error) {
-				return build(r.opts(approx.NewStatic(ratio, drop), rep, false)), nil
-			}, precise)
-			if err != nil {
-				return nil, err
-			}
-			pt.Drop = drop
-			pt.Sample = ratio
-			pt.Label = fmt.Sprintf("drop=%.0f%% sample=%.0f%%", drop*100, ratio*100)
-			points = append(points, pt)
-			rows = append(rows, []string{
-				fmt.Sprintf("drop=%.0f%%", drop*100),
-				fmt.Sprintf("%.0f%%", ratio*100),
-				f1(pt.Runtime), f1(pt.RunMin), f1(pt.RunMax),
-				pct(pt.ActualPct), pct(pt.CIPct), f1(pt.EnergyWh),
-			})
+			cells = append(cells, cell{drop, ratio})
 		}
+	}
+	points := make([]Point, len(cells))
+	if err := r.parallelMap(len(cells), func(i int) error {
+		c := cells[i]
+		pt, err := r.repeat(func(rep int) (*mapreduce.Job, error) {
+			return build(r.opts(approx.NewStatic(c.ratio, c.drop), rep, false)), nil
+		}, precise)
+		if err != nil {
+			return err
+		}
+		pt.Drop = c.drop
+		pt.Sample = c.ratio
+		pt.Label = fmt.Sprintf("drop=%.0f%% sample=%.0f%%", c.drop*100, c.ratio*100)
+		points[i] = pt
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	rows := [][]string{{"precise", "-", f1(p.Runtime), f1(p.Runtime), f1(p.Runtime), "0%", "0%", f1(p.EnergyWh)}}
+	for i, pt := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("drop=%.0f%%", cells[i].drop*100),
+			fmt.Sprintf("%.0f%%", cells[i].ratio*100),
+			f1(pt.Runtime), f1(pt.RunMin), f1(pt.RunMax),
+			pct(pt.ActualPct), pct(pt.CIPct), f1(pt.EnergyWh),
+		})
 	}
 	r.printPoints(title,
 		[]string{"Dropping", "Sampling", "Runtime(s)", "min", "max", "ActualErr", "95%CI", "Energy(Wh)"},
@@ -320,26 +343,37 @@ func (r *Runner) Fig8() ([]Point, error) {
 	input := workload.SearchSeeds("dc-seeds", 80, r.cfg.Seed)
 	cfg := apps.DCPlacementConfig{Iters: r.dcIters()}
 	runDC := func(ctl mapreduce.Controller, rep int) (*mapreduce.Result, error) {
-		eng := cluster.New(r.dcCluster())
 		opts := r.opts(ctl, rep, false)
 		opts.Cost = r.dcCost()
-		return mapreduce.Run(eng, apps.DCPlacement(input, cfg, opts))
+		return r.runJobOn(r.dcCluster(), apps.DCPlacement(input, cfg, opts))
 	}
 	precise, err := runDC(nil, 0)
 	if err != nil {
 		return nil, err
 	}
 	pMin := precise.Outputs[0].Est.Value
+	execs := []float64{0.875, 0.75, 0.625, 0.5, 0.375, 0.25}
+	// Simulate every (executed-fraction, rep) combination concurrently,
+	// then fold per cell in rep order.
+	results := make([]*mapreduce.Result, len(execs)*r.cfg.Reps)
+	if err := r.parallelMap(len(results), func(k int) error {
+		exec, rep := execs[k/r.cfg.Reps], k%r.cfg.Reps
+		res, err := runDC(approx.NewStatic(1, 1-exec), rep)
+		if err != nil {
+			return err
+		}
+		results[k] = res
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	var points []Point
 	rows := [][]string{{"100%", f1(precise.Runtime), "0%", "0%"}}
-	for _, exec := range []float64{0.875, 0.75, 0.625, 0.5, 0.375, 0.25} {
+	for i, exec := range execs {
 		var pt Point
 		pt.RunMin, pt.RunMax = math.Inf(1), math.Inf(-1)
 		for rep := 0; rep < r.cfg.Reps; rep++ {
-			res, err := runDC(approx.NewStatic(1, 1-exec), rep)
-			if err != nil {
-				return nil, err
-			}
+			res := results[i*r.cfg.Reps+rep]
 			pt.Runtime += res.Runtime
 			est := res.Outputs[0].Est
 			pt.ActualPct += math.Abs(est.Value-pMin) / pMin * 100
@@ -388,21 +422,28 @@ func (r *Runner) targetSweep(title string, build func(apps.Options) *mapreduce.J
 	if err != nil {
 		return nil, err
 	}
-	rows := [][]string{{"precise", f1(precise.Runtime), "0%", "0%", "-"}}
-	var points []Point
-	for _, target := range targets {
-		target := target
+	// Every target bound simulates concurrently; results fold back in
+	// target order.
+	points := make([]Point, len(targets))
+	if err := r.parallelMap(len(targets), func(i int) error {
+		target := targets[i]
 		pt, err := r.repeat(func(rep int) (*mapreduce.Job, error) {
 			return build(r.opts(mkCtl(target), rep, false)), nil
 		}, []*mapreduce.Result{precise})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pt.Target = target
 		pt.Label = fmt.Sprintf("target=%.2f%%", target*100)
-		points = append(points, pt)
+		points[i] = pt
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	rows := [][]string{{"precise", f1(precise.Runtime), "0%", "0%", "-"}}
+	for _, pt := range points {
 		rows = append(rows, []string{
-			fmt.Sprintf("%.2f%%", target*100), f1(pt.Runtime),
+			fmt.Sprintf("%.2f%%", pt.Target*100), f1(pt.Runtime),
 			pct(pt.ActualPct), pct(pt.CIPct), f1(pt.MapsRun),
 		})
 	}
@@ -620,37 +661,39 @@ func (r *Runner) Fig13(periods []int) ([]Fig13Row, error) {
 	}
 	atom := cluster.AtomConfig()
 	lines := r.scaleN(1000)
-	var out []Fig13Row
-	rows := [][]string{}
-	for _, days := range periods {
+	// Periods are independent; simulate them concurrently (each period
+	// still runs its four jobs in sequence so precise/approx pairs stay
+	// together) and report in period order.
+	out := make([]Fig13Row, len(periods))
+	if err := r.parallelMap(len(periods), func(i int) error {
+		days := periods[i]
 		input := workload.ScaledAccessLog(days, blocksPerDay, lines, r.cfg.Seed).File(
 			fmt.Sprintf("log-%dd", days))
 		run := func(ctl mapreduce.Controller, build func(*dfs.File, apps.Options) *mapreduce.Job) (*mapreduce.Result, error) {
-			eng := cluster.New(atom)
-			return mapreduce.Run(eng, build(input, r.opts(ctl, 0, false)))
+			return r.runJobOn(atom, build(input, r.opts(ctl, 0, false)))
 		}
 		precise, err := run(nil, apps.ProjectPopularity)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		apx, err := run(&approx.TargetError{Target: 0.01}, apps.ProjectPopularity)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pagePrecise, err := run(nil, apps.PagePopularity)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pageApx, err := run(&approx.TargetError{Target: 0.01, Pilot: true, PilotRatio: 0.01},
 			apps.PagePopularity)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		approxCI := 0.0
 		if worst, ok := WorstKey(apx); ok {
 			approxCI = worst.Est.RelErr() * 100
 		}
-		row := Fig13Row{
+		out[i] = Fig13Row{
 			Days:        days,
 			PreciseSecs: precise.Runtime,
 			ApproxSecs:  apx.Runtime,
@@ -661,9 +704,14 @@ func (r *Runner) Fig13(periods []int) ([]Fig13Row, error) {
 			PageApprox:  pageApx.Runtime,
 			PageSpeedup: pagePrecise.Runtime / pageApx.Runtime,
 		}
-		out = append(out, row)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	rows := [][]string{}
+	for _, row := range out {
 		rows = append(rows, []string{
-			fmt.Sprintf("%d days", days),
+			fmt.Sprintf("%d days", row.Days),
 			f1(row.PreciseSecs), f1(row.ApproxSecs), f2(row.Speedup) + "x",
 			pct(row.ApproxCI),
 			f1(row.PagePrecise), f1(row.PageApprox), f2(row.PageSpeedup) + "x",

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
+	"sync"
 	"text/tabwriter"
 
 	"approxhadoop/internal/apps"
@@ -37,6 +39,17 @@ type Config struct {
 	Seed int64
 	// Out receives the printed tables (defaults to io.Discard).
 	Out io.Writer
+	// Parallel bounds how many simulated jobs run concurrently:
+	// repetitions and independent figure cells fan out across
+	// goroutines, each with its own engine, and their results are
+	// folded in repetition order so every table and chart is
+	// bit-identical to a sequential run. 0 = GOMAXPROCS; 1 = strictly
+	// sequential.
+	Parallel int
+	// Workers is forwarded to Job.Workers for every job the harness
+	// builds: the per-job map-compute pool size (0 = GOMAXPROCS,
+	// 1 = inline).
+	Workers int
 }
 
 // PaperCost returns the analytic cost model calibrated so the default
@@ -61,6 +74,10 @@ func Default() Config {
 type Runner struct {
 	cfg Config
 	out io.Writer
+	// sem bounds concurrently simulated jobs: only leaf runJob calls
+	// acquire a slot, so nested fan-out (cells spawning reps) cannot
+	// deadlock waiting on slots its own children hold.
+	sem chan struct{}
 }
 
 // New builds a Runner, applying defaults for zero fields.
@@ -77,11 +94,14 @@ func New(cfg Config) *Runner {
 	if cfg.Cost == nil {
 		cfg.Cost = PaperCost()
 	}
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = runtime.GOMAXPROCS(0)
+	}
 	out := cfg.Out
 	if out == nil {
 		out = io.Discard
 	}
-	return &Runner{cfg: cfg, out: out}
+	return &Runner{cfg: cfg, out: out, sem: make(chan struct{}, cfg.Parallel)}
 }
 
 // scaleN scales a record count by the configured scale (min 10).
@@ -103,10 +123,58 @@ func (r *Runner) opts(ctl mapreduce.Controller, rep int, sleepIdle bool) apps.Op
 	}
 }
 
-// runJob executes one job on a fresh simulated cluster.
+// runJob executes one job on a fresh simulated cluster. It is the
+// only place experiment fan-out blocks on the Parallel semaphore, and
+// is safe to call from concurrent goroutines: every call gets its own
+// engine, and job results depend only on (job, seed).
 func (r *Runner) runJob(job *mapreduce.Job) (*mapreduce.Result, error) {
-	eng := cluster.New(r.cfg.Cluster)
+	return r.runJobOn(r.cfg.Cluster, job)
+}
+
+// runJobOn is runJob with a custom cluster configuration (used by the
+// experiments that simulate the paper's DC-placement and Atom
+// clusters).
+func (r *Runner) runJobOn(cfg cluster.Config, job *mapreduce.Job) (*mapreduce.Result, error) {
+	if job.Workers == 0 {
+		job.Workers = r.cfg.Workers
+	}
+	r.sem <- struct{}{}
+	defer func() { <-r.sem }()
+	eng := cluster.New(cfg)
 	return mapreduce.Run(eng, job)
+}
+
+// parallelMap runs f(0..n-1) across goroutines — one per index, with
+// actual simulation work bounded by the runJob semaphore — and
+// returns the lowest-index error so failure reporting does not depend
+// on completion order. With Parallel=1 (or a single index) it runs
+// inline.
+func (r *Runner) parallelMap(n int, f func(i int) error) error {
+	if n <= 1 || r.cfg.Parallel <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			defer wg.Done()
+			errs[i] = f(i)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WorstKey returns the output whose predicted absolute error is
@@ -161,22 +229,33 @@ type Point struct {
 }
 
 // repeat runs `build` cfg.Reps times and aggregates runtime/energy and
-// error against the per-rep precise baselines.
+// error against the per-rep precise baselines. Repetitions simulate
+// concurrently (each on its own engine); the aggregation below always
+// folds results in repetition order, so the float sums — and hence
+// every reported mean — are bit-identical to a sequential run.
 func (r *Runner) repeat(build func(rep int) (*mapreduce.Job, error), precise []*mapreduce.Result) (Point, error) {
+	results := make([]*mapreduce.Result, r.cfg.Reps)
+	if err := r.parallelMap(r.cfg.Reps, func(rep int) error {
+		job, err := build(rep)
+		if err != nil {
+			return err
+		}
+		res, err := r.runJob(job)
+		if err != nil {
+			return err
+		}
+		results[rep] = res
+		return nil
+	}); err != nil {
+		return Point{}, err
+	}
 	var p Point
 	p.RunMin = math.Inf(1)
 	p.RunMax = math.Inf(-1)
 	var actSum, ciSum float64
 	actN := 0
 	for rep := 0; rep < r.cfg.Reps; rep++ {
-		job, err := build(rep)
-		if err != nil {
-			return p, err
-		}
-		res, err := r.runJob(job)
-		if err != nil {
-			return p, err
-		}
+		res := results[rep]
 		p.Runtime += res.Runtime
 		p.EnergyWh += res.EnergyWh
 		p.MapsRun += float64(res.Counters.MapsCompleted)

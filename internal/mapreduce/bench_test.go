@@ -1,11 +1,13 @@
 package mapreduce
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
 	"approxhadoop/internal/cluster"
 	"approxhadoop/internal/dfs"
+	"approxhadoop/internal/vtime"
 )
 
 // benchInput builds a reusable word-count corpus.
@@ -66,6 +68,104 @@ func BenchmarkJobThroughputCombined(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(input.Size()))
+}
+
+// benchEmit drives one emitter through a fixed pair stream, the same
+// shape the map hot path produces.
+func benchEmit(e *mapEmitter, pairs int) {
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+	for i := 0; i < pairs; i++ {
+		e.Emit(words[i%len(words)], 1)
+	}
+}
+
+// BenchmarkMapEmitterHinted measures the map-side emit hot path with an
+// accurate pairsHint: one backing-array allocation up front, no append
+// growth during the run.
+func BenchmarkMapEmitterHinted(b *testing.B) {
+	const pairs = 4096
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := newMapEmitter(8, false, vtime.NewDeterministic(), pairs)
+		benchEmit(e, pairs)
+	}
+}
+
+// BenchmarkMapEmitterUnhinted is the same workload without a size hint
+// (first wave of a job, before MapsCompleted feeds pairsHint): every
+// partition slice grows by repeated append reallocation.
+func BenchmarkMapEmitterUnhinted(b *testing.B) {
+	const pairs = 4096
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := newMapEmitter(8, false, vtime.NewDeterministic(), 0)
+		benchEmit(e, pairs)
+	}
+}
+
+// BenchmarkMapEmitterCombined measures the combining emitter with
+// pre-sized maps.
+func BenchmarkMapEmitterCombined(b *testing.B) {
+	const pairs = 4096
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := newMapEmitter(8, true, vtime.NewDeterministic(), pairs)
+		benchEmit(e, pairs)
+	}
+}
+
+// balancedKeys returns one key per reduce partition, found by probing
+// candidate strings through the real Partition hash, so a round-robin
+// emit stream fills every partition evenly.
+func balancedKeys(t *testing.T, reduces int) []string {
+	t.Helper()
+	keys := make([]string, reduces)
+	found := 0
+	for i := 0; found < reduces && i < 10000; i++ {
+		k := "key-" + strconv.Itoa(i)
+		p := Partition(k, reduces)
+		if keys[p] == "" {
+			keys[p] = k
+			found++
+		}
+	}
+	if found < reduces {
+		t.Fatalf("found keys for only %d/%d partitions", found, reduces)
+	}
+	return keys
+}
+
+// TestMapEmitterHintedAllocs pins the allocation contract of the
+// preallocated raw-emit path: with a pairsHint that covers every
+// partition, the whole emit stream costs exactly the up-front
+// allocations (emitter struct + partition header slice + one backing
+// array), so appends never grow a partition.
+func TestMapEmitterHintedAllocs(t *testing.T) {
+	const (
+		reduces = 8
+		pairs   = 4096
+	)
+	keys := balancedKeys(t, reduces)
+	meter := vtime.NewDeterministic()
+	emitAll := func(e *mapEmitter) {
+		for i := 0; i < pairs; i++ {
+			e.Emit(keys[i%reduces], 1)
+		}
+	}
+	hinted := testing.AllocsPerRun(20, func() {
+		emitAll(newMapEmitter(reduces, false, meter, pairs))
+	})
+	// One of slack over the three expected allocations for runtime
+	// accounting noise.
+	if hinted > 4 {
+		t.Errorf("hinted emit path allocates %.0f times per attempt, want <= 4 (preallocation regressed)", hinted)
+	}
+	unhinted := testing.AllocsPerRun(20, func() {
+		emitAll(newMapEmitter(reduces, false, meter, 0))
+	})
+	if hinted >= unhinted {
+		t.Errorf("hinted path allocates %.0f times vs %.0f unhinted; hint should eliminate append growth", hinted, unhinted)
+	}
 }
 
 // BenchmarkPartition measures the shuffle partitioner.

@@ -79,6 +79,17 @@ type Job struct {
 	// Seed drives task-order randomization and sampling.
 	Seed int64
 
+	// Workers bounds the map-compute worker pool: map attempts execute
+	// their real user code on up to this many goroutines while the
+	// discrete-event scheduler keeps making every decision
+	// single-threaded in virtual-time order. Results are applied in
+	// deterministic launch order, so a (job, seed) pair produces
+	// bit-identical results for any pool size. 0 = GOMAXPROCS; 1 = run
+	// attempts inline on the scheduler goroutine. Pools larger than 1
+	// require Meter to implement vtime.Forker (the built-in meters do);
+	// otherwise the job falls back to inline execution.
+	Workers int
+
 	// Barrier disables incremental reduces: outputs buffer until all
 	// maps finish (the stock-Hadoop ablation). Online error estimation
 	// is unavailable, so target-error controllers cannot make progress
@@ -169,6 +180,9 @@ func (j *Job) Validate(eng *cluster.Engine) error {
 	}
 	if j.SpecFactor <= 1 {
 		j.SpecFactor = 2.0
+	}
+	if j.Workers < 0 {
+		j.Workers = 1
 	}
 	if j.Retry.MaxAttemptsPerTask < 0 {
 		j.Retry.MaxAttemptsPerTask = 0

@@ -35,15 +35,31 @@ type mapEmitter struct {
 	meter   vtime.Meter
 }
 
-func newMapEmitter(reduces int, combine bool, meter vtime.Meter) *mapEmitter {
+// newMapEmitter builds the per-attempt emitter. pairsHint, when > 0,
+// is the expected total pair count for the attempt: raw partition
+// slices are carved zero-length from one preallocated backing array
+// (disjoint capacities, so in-capacity appends never interfere) and
+// combiner maps are pre-sized, which keeps append-growth reallocations
+// off the map hot path.
+func newMapEmitter(reduces int, combine bool, meter vtime.Meter, pairsHint int) *mapEmitter {
 	e := &mapEmitter{reduces: reduces, combine: combine, meter: meter}
+	perPart := 0
+	if pairsHint > 0 {
+		perPart = pairsHint/reduces + 1
+	}
 	if combine {
 		e.comb = make([]map[string]stats.RunningStat, reduces)
 		for i := range e.comb {
-			e.comb[i] = make(map[string]stats.RunningStat)
+			e.comb[i] = make(map[string]stats.RunningStat, perPart)
 		}
 	} else {
 		e.raw = make([][]KV, reduces)
+		if perPart > 0 {
+			backing := make([]KV, reduces*perPart)
+			for i := range e.raw {
+				e.raw[i] = backing[i*perPart : i*perPart : (i+1)*perPart]
+			}
+		}
 	}
 	return e
 }
@@ -69,11 +85,19 @@ func (e *mapEmitter) ChargeCompute(units float64) { e.meter.Charge(units) }
 // executeMap runs one map task attempt in-process: it opens the block
 // through the job's input format (applying the sampling ratio), feeds
 // every returned record to a fresh Mapper, and partitions the emitted
-// pairs. The job's meter splits charged compute into setup, read and
-// process components so cost models and the target-error controller
-// can fit Equation 5.
-func executeMap(job *Job, block *dfs.Block, taskID int, ratio float64, seed int64) (*mapResult, error) {
-	meter := job.Meter
+// pairs. The supplied per-attempt meter splits charged compute into
+// setup, read and process components so cost models and the
+// target-error controller can fit Equation 5.
+//
+// executeMap is the compute plane: a pure function of
+// (job config, block, ratio, seed) that may run on a pool worker
+// concurrently with the virtual-time scheduler. It must never touch
+// tracker or engine state, the shared Job.Meter, or package-level
+// variables — the approxlint `sharedstate` analyzer enforces this for
+// everything reachable from the directive below.
+//
+//approx:compute
+func executeMap(job *Job, block *dfs.Block, taskID int, ratio float64, seed int64, meter vtime.Meter, pairsHint int) (*mapResult, error) {
 	meter.Begin(vtime.OpSetup)
 	reader, err := job.Format.Open(block, ratio, seed)
 	if err != nil {
@@ -90,7 +114,7 @@ func executeMap(job *Job, block *dfs.Block, taskID int, ratio float64, seed int6
 	} else {
 		mapper = job.NewMapper()
 	}
-	emitter := newMapEmitter(job.Reduces, job.Combine, meter)
+	emitter := newMapEmitter(job.Reduces, job.Combine, meter, pairsHint)
 	setup := meter.End(vtime.OpSetup, 1, 0)
 
 	var procSecs float64
@@ -119,12 +143,12 @@ func executeMap(job *Job, block *dfs.Block, taskID int, ratio float64, seed int6
 		pairs: emitter.pairs,
 	}
 	res.partitions = make([]*MapOutput, job.Reduces)
+	outs := make([]MapOutput, job.Reduces) // one allocation for all partitions
 	for p := 0; p < job.Reduces; p++ {
-		out := &MapOutput{
-			TaskID:  taskID,
-			Items:   rm.Items,
-			Sampled: rm.Sampled,
-		}
+		out := &outs[p]
+		out.TaskID = taskID
+		out.Items = rm.Items
+		out.Sampled = rm.Sampled
 		if job.Combine {
 			out.Combined = emitter.comb[p]
 		} else {

@@ -1,0 +1,110 @@
+// Worker-pool execution of map-attempt compute.
+//
+// The simulator separates two planes. The *virtual-time plane* (the
+// tracker plus the cluster engine) is strictly single-threaded: every
+// scheduling, speculation, energy and perturbation decision happens in
+// virtual-time order on the goroutine driving Engine.Run. The *compute
+// plane* is the real user code of map attempts — executeMap — which is
+// a pure function of (job config, block, ratio, seed, meter) and so
+// may execute on any goroutine at any wall-clock moment without
+// affecting the simulation.
+//
+// The tracker exploits that purity: within one scheduling pass it only
+// *decides* launches (occupying slots via StartOpenTask), queues their
+// compute as pendingLaunch entries, and then flushes the batch through
+// this pool. Results are applied in launch order on the scheduler
+// goroutine, so the virtual timeline — and therefore every Result
+// byte — is identical whether the pool has 1 or N workers.
+package mapreduce
+
+import (
+	"runtime"
+	"sync"
+
+	"approxhadoop/internal/cluster"
+)
+
+// pendingLaunch is one decided-but-not-yet-computed map attempt.
+type pendingLaunch struct {
+	idx    int
+	ratio  float64
+	spec   bool                        // speculative: duration is not re-perturbed
+	handle *cluster.RunningTask        // slot occupied at decide time
+	run    func() (*mapResult, error)  // nil on a cache hit
+	res    *mapResult                  // filled by the pool (or the cache)
+	err    error
+}
+
+// computePool executes map-attempt compute on a bounded set of
+// persistent worker goroutines. Workers start lazily on the first
+// parallel batch and exit when the pool is closed.
+type computePool struct {
+	workers int
+	once    sync.Once
+	jobs    chan func()
+	wg      sync.WaitGroup
+}
+
+// newComputePool sizes a pool; workers <= 0 means GOMAXPROCS.
+func newComputePool(workers int) *computePool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &computePool{workers: workers}
+}
+
+// start spins up the worker goroutines (called once, lazily).
+func (p *computePool) start() {
+	p.jobs = make(chan func(), p.workers)
+	for i := 0; i < p.workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for f := range p.jobs {
+				f()
+			}
+		}()
+	}
+}
+
+// runAll resolves every unresolved entry of batch, in parallel when
+// the pool has more than one worker and the batch more than one entry.
+// It returns only when all entries have res or err set; callers then
+// apply results in batch order, which is what keeps the virtual
+// timeline independent of pool size.
+func (p *computePool) runAll(batch []*pendingLaunch) {
+	var todo []*pendingLaunch
+	for _, pl := range batch {
+		if pl.res == nil && pl.run != nil {
+			todo = append(todo, pl)
+		}
+	}
+	if len(todo) == 0 {
+		return
+	}
+	if p.workers <= 1 || len(todo) == 1 {
+		for _, pl := range todo {
+			pl.res, pl.err = pl.run()
+		}
+		return
+	}
+	p.once.Do(p.start)
+	var wg sync.WaitGroup
+	wg.Add(len(todo))
+	for _, pl := range todo {
+		pl := pl
+		p.jobs <- func() {
+			defer wg.Done()
+			pl.res, pl.err = pl.run()
+		}
+	}
+	wg.Wait()
+}
+
+// close shuts the workers down; the pool must not be used afterwards.
+func (p *computePool) close() {
+	if p.jobs != nil {
+		close(p.jobs)
+		p.wg.Wait()
+	}
+}

@@ -75,6 +75,23 @@ type tracker struct {
 	startTime   float64
 	startEnergy float64
 	startBreak  cluster.EnergyBreakdown
+
+	// Compute-plane state (see pool.go): launches decided during the
+	// current scheduling pass await their map compute, which runs on
+	// the worker pool; results apply in decide order at flush.
+	pool    *computePool
+	pending []*pendingLaunch
+	// resCache holds the first computed result per task. executeMap is
+	// a pure function of (job, block, ratio, seed) and the seed is
+	// per-task, so retries and speculative re-attempts at the same
+	// ratio reuse the computation instead of re-running the kernel.
+	resCache map[int]cachedMap
+}
+
+// cachedMap is one memoized map computation.
+type cachedMap struct {
+	ratio float64
+	res   *mapResult
 }
 
 // Run executes job on the simulated cluster and returns its result.
@@ -94,7 +111,16 @@ func Run(eng *cluster.Engine, job *Job) (*Result, error) {
 		serverByID:   make(map[string]*cluster.Server),
 		serverFaults: make(map[string]int),
 		blacklist:    make(map[string]bool),
+		resCache:     make(map[int]cachedMap),
 	}
+	workers := job.Workers
+	if _, ok := job.Meter.(vtime.Forker); !ok {
+		// A meter that cannot fork per-attempt children would be shared
+		// across pool workers; run such jobs inline instead.
+		workers = 1
+	}
+	t.pool = newComputePool(workers)
+	defer t.pool.close()
 	n := len(t.blocks)
 	t.state = make([]taskState, n)
 	t.ratios = make([]float64, n)
@@ -190,10 +216,18 @@ func (t *tracker) scheduleFill() {
 	})
 }
 
-// fill launches pending map tasks onto free slots, consults the
+// fill runs one scheduling pass and then flushes the launches it
+// decided through the compute pool. The split keeps all decisions on
+// the virtual-time plane while batched map compute runs in parallel.
+func (t *tracker) fill() {
+	t.fillPass()
+	t.flushLaunches()
+}
+
+// fillPass launches pending map tasks onto free slots, consults the
 // controller, runs speculation, applies S3 policy, and checks for job
 // completion.
-func (t *tracker) fill() {
+func (t *tracker) fillPass() {
 	if t.failErr != nil || t.finalizing {
 		return
 	}
@@ -491,29 +525,93 @@ func (t *tracker) onDeadline() {
 	t.scheduleFill()
 }
 
-// launch executes a map task attempt in-process and schedules its
-// completion on the virtual timeline.
+// launch decides a map task attempt: the slot is occupied and all
+// bookkeeping done now, in virtual-time order, while the attempt's
+// real compute is queued for the worker pool and applied at flush.
 func (t *tracker) launch(idx int, srv *cluster.Server, ratio float64) {
 	if ratio <= 0 || ratio > 1 {
 		ratio = 1
 	}
 	t.ratios[idx] = ratio
-	res, err := executeMap(t.job, t.blocks[idx], idx, ratio, t.job.Seed*1000003+int64(idx))
-	if err != nil {
-		t.fail(err)
-		return
-	}
-	t.realSecs += res.measure.RealSecs()
-	dur := t.eng.PerturbDuration(t.job.Cost.MapDuration(res.measure))
 	t.state[idx] = taskRunning
 	t.launched++
 	t.attemptsMade[idx]++
 	t.emit(EventMapLaunched, idx, srv.ID, ratio)
+	t.enqueueAttempt(idx, srv, ratio, false)
+}
+
+// enqueueAttempt occupies a map slot for one attempt of task idx and
+// queues its compute. On a cache hit (an earlier attempt of the same
+// task at the same ratio) the memoized result is reused — executeMap
+// is pure, so re-running it could only waste cycles.
+func (t *tracker) enqueueAttempt(idx int, srv *cluster.Server, ratio float64, spec bool) {
+	pl := &pendingLaunch{idx: idx, ratio: ratio, spec: spec}
+	//lint:ignore nofloateq the cached ratio is the verbatim float stored by a previous attempt of this task; retries and speculation re-use t.ratios[idx] unchanged
+	if c, ok := t.resCache[idx]; ok && c.ratio == ratio {
+		pl.res = c.res
+	} else {
+		job, block := t.job, t.blocks[idx]
+		seed := job.Seed*1000003 + int64(idx)
+		meter := vtime.Fork(job.Meter)
+		hint := t.pairsHint()
+		pl.run = func() (*mapResult, error) {
+			return executeMap(job, block, idx, ratio, seed, meter, hint)
+		}
+	}
 	var handle *cluster.RunningTask
-	handle = t.eng.StartTask(srv, cluster.MapSlot, dur, func(killed bool) {
-		t.onMapDone(idx, handle, res, killed)
+	handle = t.eng.StartOpenTask(srv, cluster.MapSlot, func(killed bool) {
+		t.onMapDone(idx, handle, pl.res, killed)
 	})
+	pl.handle = handle
 	t.attempts[idx] = append(t.attempts[idx], handle)
+	t.pending = append(t.pending, pl)
+}
+
+// pairsHint estimates the pair count of the next map attempt from
+// completed maps, for emitter preallocation. It reads only
+// decide-time scheduler state, so the hint — like everything else —
+// is independent of pool size.
+func (t *tracker) pairsHint() int {
+	if t.counters.MapsCompleted == 0 {
+		return 0
+	}
+	return int(t.counters.PairsShuffled / int64(t.counters.MapsCompleted))
+}
+
+// flushLaunches resolves the compute of every launch decided during
+// the current pass (in parallel on the pool) and applies the results
+// in decide order: realSecs accrual, duration perturbation draws, and
+// completion events all happen in exactly the sequence the sequential
+// simulator would produce, which is what makes pool size invisible to
+// the virtual timeline.
+func (t *tracker) flushLaunches() {
+	if len(t.pending) == 0 {
+		return
+	}
+	batch := t.pending
+	t.pending = nil
+	t.pool.runAll(batch)
+	for _, pl := range batch {
+		if t.failErr == nil && pl.err != nil {
+			t.fail(pl.err)
+		}
+		if t.failErr != nil {
+			t.eng.Kill(pl.handle) // no-op for attempts fail() already killed
+			continue
+		}
+		if _, ok := t.resCache[pl.idx]; !ok {
+			t.resCache[pl.idx] = cachedMap{ratio: pl.ratio, res: pl.res}
+		}
+		t.realSecs += pl.res.measure.RealSecs()
+		dur := t.job.Cost.MapDuration(pl.res.measure)
+		if !pl.spec {
+			dur = t.eng.PerturbDuration(dur)
+		}
+		// A speculative re-execution does not re-roll the straggler
+		// dice with the same bad luck; it keeps the unperturbed
+		// duration.
+		t.eng.FinishAfter(pl.handle, dur)
+	}
 }
 
 // onMapDone handles completion or kill of one map attempt.
@@ -684,22 +782,9 @@ func (t *tracker) maybeSpeculate() {
 		if srv == nil {
 			return
 		}
-		res, err := executeMap(t.job, t.blocks[idx], idx, t.ratios[idx], t.job.Seed*1000003+int64(idx))
-		if err != nil {
-			t.fail(err)
-			return
-		}
-		t.realSecs += res.measure.RealSecs()
-		// A speculative re-execution does not re-roll the straggler
-		// dice with the same bad luck; use the unperturbed duration.
-		dur := t.job.Cost.MapDuration(res.measure)
 		t.counters.MapsSpeculated++
 		t.emit(EventMapSpeculated, idx, srv.ID, t.ratios[idx])
-		var handle *cluster.RunningTask
-		handle = t.eng.StartTask(srv, cluster.MapSlot, dur, func(killed bool) {
-			t.onMapDone(idx, handle, res, killed)
-		})
-		t.attempts[idx] = append(t.attempts[idx], handle)
+		t.enqueueAttempt(idx, srv, t.ratios[idx], true)
 	}
 }
 

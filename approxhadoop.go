@@ -107,6 +107,30 @@ type (
 	ApproxTextInput = approx.ApproxTextInput
 	// TextInput is the precise text input format.
 	TextInput = mapreduce.TextInputFormat
+
+	// Event is one entry in a job's execution trace; set Job.RecordTrace
+	// to collect them in Result.Trace, or assign a Tracer to Job.Trace
+	// to observe them as they happen.
+	Event = mapreduce.Event
+	// EventKind classifies trace events.
+	EventKind = mapreduce.EventKind
+	// Tracer receives trace events in virtual-time order.
+	Tracer = mapreduce.Tracer
+)
+
+// Trace event kinds (see Event).
+const (
+	EventMapLaunched       = mapreduce.EventMapLaunched
+	EventMapCompleted      = mapreduce.EventMapCompleted
+	EventMapKilled         = mapreduce.EventMapKilled
+	EventMapDropped        = mapreduce.EventMapDropped
+	EventMapSpeculated     = mapreduce.EventMapSpeculated
+	EventMapFailed         = mapreduce.EventMapFailed
+	EventMapRetried        = mapreduce.EventMapRetried
+	EventMapDegraded       = mapreduce.EventMapDegraded
+	EventServerBlacklisted = mapreduce.EventServerBlacklisted
+	EventReduceFinished    = mapreduce.EventReduceFinished
+	EventJobCompleted      = mapreduce.EventJobCompleted
 )
 
 // DefaultCluster mirrors the paper's Xeon cluster: 10 servers with 8
@@ -242,3 +266,9 @@ func WriteTSV(w io.Writer, res *Result) error { return mapreduce.WriteTSV(w, res
 
 // WriteJSON serializes a result with interval bounds per key.
 func WriteJSON(w io.Writer, res *Result) error { return mapreduce.WriteJSON(w, res) }
+
+// WriteTraceJSONL writes a recorded execution trace (Result.Trace) as
+// one JSON event per line.
+func WriteTraceJSONL(w io.Writer, events []Event) error {
+	return mapreduce.WriteTraceJSONL(w, events)
+}

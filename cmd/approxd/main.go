@@ -1,0 +1,73 @@
+// Command approxd serves the multi-tenant ApproxHadoop job service
+// over HTTP/JSON: many jobs share one simulated cluster, map slots are
+// arbitrated FIFO or weighted fair-share, and running jobs stream
+// early-result snapshots whose confidence intervals narrow wave by
+// wave.
+//
+// Usage:
+//
+//	approxd                                  # FIFO on 127.0.0.1:7070
+//	approxd -policy fair -max-active 16
+//	approxd -hold                            # park submissions; POST /v1/release replays
+//	                                         # the batch deterministically
+//
+// API (see internal/jobserver):
+//
+//	POST   /v1/jobs               submit a JobSpec, returns {"id": ...}
+//	GET    /v1/jobs               list all jobs
+//	GET    /v1/jobs/{id}          one job's state
+//	DELETE /v1/jobs/{id}          cancel
+//	GET    /v1/jobs/{id}/result   final result
+//	GET    /v1/jobs/{id}/stream   JSONL early-result stream
+//	POST   /v1/replay             run a whole []JobSpec trace
+//	POST   /v1/release            release held submissions
+//	GET    /v1/stats              service counters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"approxhadoop/internal/jobserver"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7070", "listen address")
+		policy    = flag.String("policy", "fifo", "map-slot arbitration between jobs: fifo | fair")
+		maxActive = flag.Int("max-active", 8, "max concurrently running jobs")
+		maxQueue  = flag.Int("max-queue", 64, "admission queue depth before 429s")
+		snapshot  = flag.Float64("snapshot-every", 40, "virtual seconds between streamed snapshots (<0 disables)")
+		workers   = flag.Int("workers", 0, "per-job map-compute pool size (0 = GOMAXPROCS); results are identical for any value")
+		hold      = flag.Bool("hold", false, "park submissions until POST /v1/release, then replay the sorted batch deterministically")
+	)
+	flag.Parse()
+
+	pol, err := jobserver.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "approxd: %v\n", err)
+		os.Exit(2)
+	}
+	svc := jobserver.New(jobserver.Config{
+		Policy:        pol,
+		MaxActive:     *maxActive,
+		MaxQueue:      *maxQueue,
+		Workers:       *workers,
+		SnapshotEvery: *snapshot,
+	})
+	d := jobserver.NewDaemon(svc, *hold)
+	defer d.Stop()
+
+	mode := "live"
+	if *hold {
+		mode = "hold"
+	}
+	fmt.Fprintf(os.Stderr, "approxd: listening on %s (policy %s, %s mode, %d active / %d queued max)\n",
+		*addr, pol, mode, *maxActive, *maxQueue)
+	if err := http.ListenAndServe(*addr, d.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "approxd: %v\n", err)
+		os.Exit(1)
+	}
+}

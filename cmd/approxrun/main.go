@@ -10,6 +10,7 @@
 //	approxrun -app dcplacement -target 0.05
 //	approxrun -app wikilength              # precise
 //	approxrun -app projectpop -sample 0.1 -faults 8 -max-attempts 3 -degrade-to-drop
+//	approxrun -app pagepop -sample 0.25 -trace events.jsonl
 //
 // Apps: wikilength wikipagerank projectpop pagepop pagetraffic
 // wikirate webrate attacks totalsize requestsize clients browsers
@@ -49,6 +50,7 @@ func main() {
 		maxAttempts = flag.Int("max-attempts", 0, "cap attempts per map task (0 = unlimited retries)")
 		degrade     = flag.Bool("degrade-to-drop", false, "fold unrecoverable task failures into the estimator's dropped-cluster count instead of failing")
 
+		trace      = flag.String("trace", "", "write the job's scheduling-event log as JSONL to this file (\"-\" for stdout)")
 		workers    = flag.Int("workers", 0, "map-compute worker pool size (0 = GOMAXPROCS, 1 = inline); results are identical for any value")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
@@ -165,11 +167,40 @@ func main() {
 		job.Faults = &plan
 	}
 
+	job.RecordTrace = *trace != ""
+
 	eng := cluster.New(cfg)
 	res, err := mapreduce.Run(eng, job)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "approxrun: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *trace != "" {
+		out := os.Stdout
+		var f *os.File
+		if *trace != "-" {
+			f, err = os.Create(*trace)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "approxrun: %v\n", err)
+				os.Exit(1)
+			}
+			out = f
+		}
+		if err := mapreduce.WriteTraceJSONL(out, res.Trace); err != nil {
+			fmt.Fprintf(os.Stderr, "approxrun: trace: %v\n", err)
+			os.Exit(1)
+		}
+		if f != nil {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "approxrun: trace: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *trace == "-" {
+			return // the event log owns stdout
+		}
+		fmt.Fprintf(os.Stderr, "approxrun: wrote %d trace events to %s\n", len(res.Trace), *trace)
 	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)

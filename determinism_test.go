@@ -37,6 +37,7 @@ func detRun(t *testing.T, workers int, withFaults bool) *approxhadoop.Result {
 	}
 	job.Retry = approxhadoop.RetryPolicy{MaxAttemptsPerTask: 3, Backoff: 0.25}
 	job.DegradeToDrop = true
+	job.RecordTrace = true
 	res, err := sys.Run(job)
 	if err != nil {
 		t.Fatal(err)

@@ -331,20 +331,5 @@ func (c *TargetError) meets(errHalf, tau float64) bool {
 // gatherComponents pulls planning statistics from every partition's
 // MultiStageReducer.
 func (c *TargetError) gatherComponents(v *mapreduce.JobView) []PlanComponent {
-	if v.Logics == nil {
-		return nil
-	}
-	view := mapreduce.EstimateView{
-		TotalMaps:  v.TotalMaps,
-		Consumed:   v.Completed,
-		Dropped:    v.Dropped,
-		Confidence: v.Confidence,
-	}
-	var all []PlanComponent
-	for _, logic := range v.Logics() {
-		if msr, ok := logic.(*MultiStageReducer); ok {
-			all = append(all, msr.PlanComponents(view)...)
-		}
-	}
-	return all
+	return gatherPlanComponents(v)
 }

@@ -1,0 +1,165 @@
+package jobserver
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned for operations on a stopped daemon.
+var ErrClosed = errors.New("jobserver: daemon stopped")
+
+// Daemon runs a Service behind a single driver goroutine that owns
+// the engine: HTTP handlers never touch the virtual timeline directly,
+// they post closures to a mailbox the driver executes between engine
+// events. The virtual-time plane therefore stays single-threaded even
+// though submissions arrive concurrently over the network.
+//
+// Two submission modes exist. Live mode admits each job at whatever
+// virtual instant its request reaches the driver — the natural
+// behavior for an interactive service, but wall-clock arrival order
+// leaks into the timeline. Hold mode instead parks submissions in a
+// buffer; Release sorts them by (SubmitAt, Name) and replays the
+// batch on the virtual clock, so N clients hammering the daemon
+// concurrently still produce byte-identical per-job results. The
+// /v1/replay endpoint is the one-request equivalent for callers that
+// already hold the whole trace.
+type Daemon struct {
+	svc  *Service
+	cmds chan func()
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	// Driver-goroutine state for hold mode.
+	holding bool
+	held    []JobSpec
+}
+
+// NewDaemon starts the driver goroutine for svc. hold enables hold
+// mode (see type comment).
+func NewDaemon(svc *Service, hold bool) *Daemon {
+	d := &Daemon{
+		svc:     svc,
+		cmds:    make(chan func(), 64),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		holding: hold,
+	}
+	go d.loop()
+	return d
+}
+
+// Service returns the underlying service (read-only methods are safe
+// from any goroutine).
+func (d *Daemon) Service() *Service { return d.svc }
+
+// loop is the driver: commands take priority (they schedule engine
+// events at the current virtual time), then the engine is pumped one
+// event at a time; an idle engine blocks on the mailbox.
+func (d *Daemon) loop() {
+	defer close(d.done)
+	for {
+		select {
+		case fn := <-d.cmds:
+			fn()
+		case <-d.stop:
+			return
+		default:
+			if d.svc.eng.Step() {
+				continue
+			}
+			select {
+			case fn := <-d.cmds:
+				fn()
+			case <-d.stop:
+				return
+			}
+		}
+	}
+}
+
+// do runs fn on the driver goroutine and waits for it.
+func (d *Daemon) do(fn func()) error {
+	ran := make(chan struct{})
+	select {
+	case d.cmds <- func() { fn(); close(ran) }:
+	case <-d.stop:
+		return ErrClosed
+	}
+	select {
+	case <-ran:
+		return nil
+	case <-d.done:
+		return ErrClosed
+	}
+}
+
+// Stop shuts the driver down and wakes every stream waiter.
+func (d *Daemon) Stop() {
+	d.once.Do(func() {
+		close(d.stop)
+		<-d.done
+		d.svc.Close()
+	})
+}
+
+// Submit admits one job (live mode) or parks it (hold mode, in which
+// case the returned id is empty and held is the buffer depth).
+func (d *Daemon) Submit(spec JobSpec) (id string, held int, err error) {
+	doErr := d.do(func() {
+		if d.holding {
+			d.held = append(d.held, spec)
+			held = len(d.held)
+			return
+		}
+		id, err = d.svc.Submit(spec)
+	})
+	if doErr != nil {
+		return "", 0, doErr
+	}
+	return id, held, err
+}
+
+// Release replays the held submissions as one sorted batch and
+// returns their final states. Outside hold mode it is a no-op.
+func (d *Daemon) Release() (states []JobState, err error) {
+	doErr := d.do(func() {
+		specs := d.held
+		d.held = nil
+		states = d.svc.Replay(specs)
+	})
+	if doErr != nil {
+		return nil, doErr
+	}
+	return states, nil
+}
+
+// Replay runs a whole trace on the driver goroutine and returns the
+// final states. Concurrent live submissions queue behind it.
+func (d *Daemon) Replay(specs []JobSpec) (states []JobState, err error) {
+	doErr := d.do(func() { states = d.svc.Replay(specs) })
+	if doErr != nil {
+		return nil, doErr
+	}
+	return states, nil
+}
+
+// Stats samples service counters on the driver goroutine, so the
+// engine fields (virtual time, energy) are read between engine events
+// rather than racing the simulation.
+func (d *Daemon) Stats() (Stats, error) {
+	var st Stats
+	if err := d.do(func() { st = d.svc.Stats() }); err != nil {
+		return Stats{}, err
+	}
+	return st, nil
+}
+
+// Cancel aborts a job on the driver goroutine.
+func (d *Daemon) Cancel(id string) error {
+	var cErr error
+	if doErr := d.do(func() { cErr = d.svc.Cancel(id) }); doErr != nil {
+		return doErr
+	}
+	return cErr
+}

@@ -1,0 +1,301 @@
+package jobserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+
+	"approxhadoop/internal/mapreduce"
+)
+
+// The HTTP/JSON API of cmd/approxd. All payloads are NaN-safe: the
+// wire types below map non-finite interval half-widths onto the -1
+// sentinel with Unbounded set, the same convention as
+// mapreduce.WriteJSON, because encoding/json rejects NaN/Inf.
+//
+//	POST   /v1/jobs          submit a JobSpec   -> {"id": ...} (202 {"held": n} in hold mode)
+//	GET    /v1/jobs          list job states
+//	GET    /v1/jobs/{id}     one job's state
+//	DELETE /v1/jobs/{id}     cancel
+//	GET    /v1/jobs/{id}/result   final result (409 until terminal)
+//	GET    /v1/jobs/{id}/stream   JSONL WireFrame stream: snapshots with
+//	                              narrowing CIs, last frame final=true
+//	POST   /v1/replay        run a whole trace ([]JobSpec), return states
+//	POST   /v1/release       release held submissions (hold mode)
+//	GET    /v1/stats         service counters
+
+// WireEstimate is the JSON-safe form of one KeyEstimate.
+type WireEstimate struct {
+	Key        string  `json:"key"`
+	Value      float64 `json:"value"`
+	Epsilon    float64 `json:"epsilon"` // CI half-width; -1 when unbounded
+	Confidence float64 `json:"confidence"`
+	Lo         float64 `json:"lo"`
+	Hi         float64 `json:"hi"`
+	Exact      bool    `json:"exact,omitempty"`
+	Unbounded  bool    `json:"unbounded,omitempty"`
+}
+
+// WireResult is the JSON-safe form of a completed job's Result.
+type WireResult struct {
+	Job      string             `json:"job"`
+	Runtime  float64            `json:"runtimeSecs"`
+	EnergyWh float64            `json:"energyWh"`
+	Counters mapreduce.Counters `json:"counters"`
+	Outputs  []WireEstimate     `json:"outputs"`
+}
+
+// WireState is the JSON form of one JobState.
+type WireState struct {
+	ID       string      `json:"id"`
+	Spec     JobSpec     `json:"spec"`
+	Status   JobStatus   `json:"status"`
+	SubmitVT float64     `json:"submitVT"`
+	StartVT  float64     `json:"startVT"`
+	EndVT    float64     `json:"endVT"`
+	Err      string      `json:"error,omitempty"`
+	Result   *WireResult `json:"result,omitempty"`
+}
+
+// WireFrame is one line of the streaming endpoint.
+type WireFrame struct {
+	T         float64        `json:"t"` // virtual seconds since job start
+	Status    JobStatus      `json:"status"`
+	Final     bool           `json:"final,omitempty"`
+	Estimates []WireEstimate `json:"estimates"`
+}
+
+// WireEstimates converts estimates, mapping non-finite half-widths to
+// the -1 sentinel.
+func WireEstimates(ests []mapreduce.KeyEstimate) []WireEstimate {
+	out := make([]WireEstimate, 0, len(ests))
+	for _, e := range ests {
+		w := WireEstimate{
+			Key:        e.Key,
+			Value:      e.Est.Value,
+			Epsilon:    e.Est.Err,
+			Confidence: e.Est.Conf,
+			Lo:         e.Est.Lo(),
+			Hi:         e.Est.Hi(),
+			Exact:      e.Exact,
+		}
+		if math.IsNaN(w.Epsilon) || math.IsInf(w.Epsilon, 0) || math.IsNaN(w.Value) || math.IsInf(w.Value, 0) {
+			if math.IsNaN(w.Value) || math.IsInf(w.Value, 0) {
+				w.Value = 0
+			}
+			w.Epsilon = -1
+			w.Lo = w.Value
+			w.Hi = w.Value
+			w.Unbounded = true
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// wireResult converts a Result (nil-safe).
+func wireResult(res *mapreduce.Result) *WireResult {
+	if res == nil {
+		return nil
+	}
+	return &WireResult{
+		Job:      res.Job,
+		Runtime:  res.Runtime,
+		EnergyWh: res.EnergyWh,
+		Counters: res.Counters,
+		Outputs:  WireEstimates(res.Outputs),
+	}
+}
+
+// wireState converts a JobState.
+func wireState(st JobState) WireState {
+	return WireState{
+		ID:       st.ID,
+		Spec:     st.Spec,
+		Status:   st.Status,
+		SubmitVT: st.SubmitVT,
+		StartVT:  st.StartVT,
+		EndVT:    st.EndVT,
+		Err:      st.Err,
+		Result:   wireResult(st.Result),
+	}
+}
+
+func wireStates(sts []JobState) []WireState {
+	out := make([]WireState, 0, len(sts))
+	for _, st := range sts {
+		out = append(out, wireState(st))
+	}
+	return out
+}
+
+// Handler returns the daemon's HTTP API.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", d.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", d.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", d.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", d.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", d.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", d.handleStream)
+	mux.HandleFunc("POST /v1/replay", d.handleReplay)
+	mux.HandleFunc("POST /v1/release", d.handleRelease)
+	mux.HandleFunc("GET /v1/stats", d.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	//lint:ignore errcheck the response writer owns delivery; an encode error here has no one left to tell
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad spec: %w", err))
+		return
+	}
+	id, held, err := d.Submit(spec)
+	switch {
+	case errors.Is(err, ErrBusy):
+		writeError(w, http.StatusTooManyRequests, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	case id == "":
+		writeJSON(w, http.StatusAccepted, map[string]int{"held": held})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"id": id})
+	}
+}
+
+func (d *Daemon) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, wireStates(d.svc.Jobs()))
+}
+
+func (d *Daemon) handleGet(w http.ResponseWriter, r *http.Request) {
+	st, ok := d.svc.JobInfo(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, wireState(st))
+}
+
+func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if err := d.Cancel(r.PathValue("id")); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "canceled"})
+}
+
+func (d *Daemon) handleResult(w http.ResponseWriter, r *http.Request) {
+	st, ok := d.svc.JobInfo(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
+	if !st.Status.Terminal() {
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s is %s; result not ready", st.ID, st.Status))
+		return
+	}
+	if st.Result == nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s %s: %s", st.ID, st.Status, st.Err))
+		return
+	}
+	writeJSON(w, http.StatusOK, wireResult(st.Result))
+}
+
+// handleStream writes JSONL WireFrames as snapshots appear, ending
+// with the terminal frame (final=true for successful jobs).
+func (d *Daemon) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := d.svc.JobInfo(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	cursor := 0
+	for {
+		fresh, status, next, err := d.svc.StreamFrom(id, cursor)
+		if err != nil {
+			return
+		}
+		terminal := status.Terminal()
+		for i, snap := range fresh {
+			frame := WireFrame{
+				T:         snap.T,
+				Status:    status,
+				Final:     terminal && status == StatusDone && cursor+i == next-1,
+				Estimates: WireEstimates(snap.Estimates),
+			}
+			if encErr := enc.Encode(frame); encErr != nil {
+				return // client went away
+			}
+		}
+		cursor = next
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			if len(fresh) == 0 {
+				// Failed/canceled before any snapshot: emit one
+				// terminal frame so clients always see an ending.
+				//lint:ignore errcheck the stream is ending either way
+				_ = enc.Encode(WireFrame{Status: status})
+				if flusher != nil {
+					flusher.Flush()
+				}
+			}
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		default:
+		}
+	}
+}
+
+func (d *Daemon) handleReplay(w http.ResponseWriter, r *http.Request) {
+	var specs []JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&specs); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad trace: %w", err))
+		return
+	}
+	states, err := d.Replay(specs)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wireStates(states))
+}
+
+func (d *Daemon) handleRelease(w http.ResponseWriter, _ *http.Request) {
+	states, err := d.Release()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wireStates(states))
+}
+
+func (d *Daemon) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st, err := d.Stats()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}

@@ -1,0 +1,452 @@
+package jobserver
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"approxhadoop/internal/cluster"
+	"approxhadoop/internal/mapreduce"
+)
+
+// ErrBusy is returned by Submit when the admission queue is full — the
+// service's backpressure signal (HTTP maps it to 429).
+var ErrBusy = errors.New("jobserver: admission queue full, retry later")
+
+// Config sizes the service.
+type Config struct {
+	// Cluster describes the shared simulated cluster (zero value:
+	// cluster.DefaultConfig(), the paper's 10-server Xeon rack).
+	Cluster cluster.Config
+	// Policy arbitrates map slots between active jobs.
+	Policy Policy
+	// MaxActive caps concurrently running jobs (default 8). Admission
+	// additionally requires free reduce slots for the job.
+	MaxActive int
+	// MaxQueue bounds the admission queue (default 64); beyond it
+	// Submit returns ErrBusy.
+	MaxQueue int
+	// Workers is the per-job compute-pool size applied to specs that
+	// do not set their own (0 = GOMAXPROCS).
+	Workers int
+	// SnapshotEvery is the virtual-time period of streaming
+	// early-result snapshots (default 40 s; <0 disables).
+	SnapshotEvery float64
+}
+
+// JobStatus is the lifecycle state of a service job.
+type JobStatus string
+
+// Job lifecycle states.
+const (
+	StatusQueued   JobStatus = "queued"
+	StatusRunning  JobStatus = "running"
+	StatusDone     JobStatus = "done"
+	StatusFailed   JobStatus = "failed"
+	StatusCanceled JobStatus = "canceled"
+	StatusRejected JobStatus = "rejected"
+)
+
+// Terminal reports whether the status is final.
+func (s JobStatus) Terminal() bool {
+	switch s {
+	case StatusDone, StatusFailed, StatusCanceled, StatusRejected:
+		return true
+	}
+	return false
+}
+
+// Snapshot is one streamed early-result frame: the job's current
+// cross-partition estimates T virtual seconds after its start. As
+// waves complete, successive snapshots carry narrowing confidence
+// intervals; the last snapshot of a successful job is its final
+// output.
+type Snapshot struct {
+	T         float64                 `json:"t"`
+	Estimates []mapreduce.KeyEstimate `json:"estimates"`
+}
+
+// JobState is the externally visible state of one submission. Reads
+// through JobInfo/Jobs return copies that are safe to use from any
+// goroutine.
+type JobState struct {
+	ID       string            `json:"id"`
+	Spec     JobSpec           `json:"spec"`
+	Status   JobStatus         `json:"status"`
+	SubmitVT float64           `json:"submitVT"` // virtual submission time
+	StartVT  float64           `json:"startVT"`  // virtual admission time
+	EndVT    float64           `json:"endVT"`    // virtual completion time
+	Err      string            `json:"error,omitempty"`
+	Result   *mapreduce.Result `json:"result,omitempty"`
+	// Snapshots accumulate while the job runs; see StreamFrom.
+	Snapshots []Snapshot `json:"-"`
+}
+
+// entry is the service's per-job scheduling state. Everything here
+// belongs to the engine goroutine.
+type entry struct {
+	state    *JobState // mutations guarded by Service.mu
+	job      *mapreduce.Job
+	h        *mapreduce.Handle
+	seq      int
+	weight   float64
+	grants   int  // map slots currently granted by the arbiter
+	hungry   bool // denied a slot since the last kick
+	canceled bool
+}
+
+// Service runs many jobs concurrently on one shared engine. All
+// mutating methods (Submit, Cancel, Replay, and the engine callbacks)
+// must run on the goroutine that drives the engine; the read methods
+// (JobInfo, Jobs, Stats, StreamFrom) are safe from any goroutine.
+type Service struct {
+	cfg Config
+	eng *cluster.Engine
+
+	// Engine-goroutine state.
+	entries       map[*mapreduce.Job]*entry
+	queue         []*entry
+	active        []*entry
+	seq           int
+	activeReduces int
+	kickQueued    bool
+
+	// Cross-goroutine state.
+	mu                                   sync.Mutex
+	cond                                 *sync.Cond
+	states                               map[string]*JobState
+	order                                []string // submission order of IDs
+	closed                               bool
+	nDone, nFailed, nCanceled, nRejected int
+}
+
+// New builds a service and its private simulated cluster.
+func New(cfg Config) *Service {
+	if cfg.Cluster.Servers == 0 {
+		cfg.Cluster = cluster.DefaultConfig()
+	}
+	if cfg.MaxActive <= 0 {
+		cfg.MaxActive = 8
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 64
+	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = 40
+	}
+	s := &Service{
+		cfg:     cfg,
+		eng:     cluster.New(cfg.Cluster),
+		entries: make(map[*mapreduce.Job]*entry),
+		states:  make(map[string]*JobState),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Engine exposes the shared engine for the goroutine driving it.
+func (s *Service) Engine() *cluster.Engine { return s.eng }
+
+// Policy returns the configured scheduling policy.
+func (s *Service) Policy() Policy { return s.cfg.Policy }
+
+// Close wakes every stream waiter; used at daemon shutdown.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Submit validates and enqueues one job at the current virtual time,
+// dispatching immediately if capacity allows. Engine goroutine only.
+func (s *Service) Submit(spec JobSpec) (string, error) {
+	if len(s.queue) >= s.cfg.MaxQueue {
+		s.mu.Lock()
+		s.nRejected++
+		s.mu.Unlock()
+		return "", ErrBusy
+	}
+	job, err := spec.Build(s.cfg.Workers)
+	if err != nil {
+		s.mu.Lock()
+		s.nRejected++
+		s.mu.Unlock()
+		return "", err
+	}
+	if rs := s.eng.TotalSlots(cluster.ReduceSlot); job.Reduces > rs {
+		s.mu.Lock()
+		s.nRejected++
+		s.mu.Unlock()
+		return "", fmt.Errorf("jobserver: spec wants %d reduces but the cluster has %d reduce slots", job.Reduces, rs)
+	}
+	id := fmt.Sprintf("job-%04d", s.seq)
+	st := &JobState{ID: id, Spec: spec, Status: StatusQueued, SubmitVT: s.eng.Now()}
+	weight := spec.Weight
+	if weight <= 0 {
+		weight = 1
+	}
+	e := &entry{state: st, job: job, seq: s.seq, weight: weight}
+	s.seq++
+	if s.cfg.SnapshotEvery > 0 {
+		job.SnapshotEvery = s.cfg.SnapshotEvery
+		job.OnSnapshot = func(t float64, ests []mapreduce.KeyEstimate) {
+			s.mu.Lock()
+			st.Snapshots = append(st.Snapshots, Snapshot{T: t, Estimates: ests})
+			s.mu.Unlock()
+			s.cond.Broadcast()
+		}
+	}
+	s.entries[job] = e
+	s.mu.Lock()
+	s.states[id] = st
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	s.queue = append(s.queue, e)
+	s.dispatch()
+	return id, nil
+}
+
+// dispatch admits queued jobs in FIFO order while capacity allows: a
+// free active slot and enough free reduce slots for the head job
+// (head-of-line blocking — jobs never overtake within the queue, so
+// admission order is reproducible).
+func (s *Service) dispatch() {
+	for len(s.queue) > 0 {
+		if len(s.active) >= s.cfg.MaxActive {
+			return
+		}
+		e := s.queue[0]
+		if s.activeReduces+e.job.Reduces > s.eng.TotalSlots(cluster.ReduceSlot) {
+			return
+		}
+		s.queue = s.queue[1:]
+		h, err := mapreduce.Start(s.eng, e.job, mapreduce.StartOptions{
+			Arbiter: &schedArbiter{s: s},
+			OnDone:  func(res *mapreduce.Result, jobErr error) { s.onJobDone(e, res, jobErr) },
+		})
+		if err != nil {
+			delete(s.entries, e.job)
+			s.mu.Lock()
+			e.state.Status = StatusFailed
+			e.state.Err = err.Error()
+			e.state.EndVT = s.eng.Now()
+			s.nFailed++
+			s.mu.Unlock()
+			s.cond.Broadcast()
+			continue
+		}
+		e.h = h
+		s.active = append(s.active, e)
+		s.activeReduces += e.job.Reduces
+		s.mu.Lock()
+		e.state.Status = StatusRunning
+		e.state.StartVT = s.eng.Now()
+		s.mu.Unlock()
+		s.cond.Broadcast()
+	}
+}
+
+// onJobDone is the tracker's completion hook: it runs on the engine
+// goroutine at the job's virtual completion instant, frees the job's
+// admission capacity, records the outcome, and lets queued and waiting
+// jobs advance.
+func (s *Service) onJobDone(e *entry, res *mapreduce.Result, err error) {
+	for i, f := range s.active {
+		if f == e {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			break
+		}
+	}
+	s.activeReduces -= e.job.Reduces
+	delete(s.entries, e.job)
+	s.mu.Lock()
+	st := e.state
+	st.EndVT = s.eng.Now()
+	switch {
+	case err != nil && e.canceled:
+		st.Status = StatusCanceled
+		st.Err = err.Error()
+		s.nCanceled++
+	case err != nil:
+		st.Status = StatusFailed
+		st.Err = err.Error()
+		s.nFailed++
+	default:
+		st.Status = StatusDone
+		st.Result = res
+		s.nDone++
+		// The terminal snapshot: streams converge exactly to the
+		// job's final outputs.
+		st.Snapshots = append(st.Snapshots, Snapshot{T: res.Runtime, Estimates: res.Outputs})
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.dispatch()
+	s.scheduleKicks()
+}
+
+// Cancel aborts a job. Queued jobs leave the queue; running jobs are
+// killed at the current virtual time. Terminal jobs are left alone.
+// Engine goroutine only.
+func (s *Service) Cancel(id string) error {
+	s.mu.Lock()
+	st, ok := s.states[id]
+	terminal := ok && st.Status.Terminal()
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("jobserver: no job %q", id)
+	}
+	if terminal {
+		return nil
+	}
+	for i, e := range s.queue {
+		if e.state == st {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			delete(s.entries, e.job)
+			s.mu.Lock()
+			st.Status = StatusCanceled
+			st.Err = "jobserver: canceled while queued"
+			st.EndVT = s.eng.Now()
+			s.nCanceled++
+			s.mu.Unlock()
+			s.cond.Broadcast()
+			return nil
+		}
+	}
+	for _, e := range s.active {
+		if e.state == st {
+			e.canceled = true
+			e.h.Cancel()
+			return nil
+		}
+	}
+	return nil
+}
+
+// JobInfo returns a copy of one job's state. Safe from any goroutine.
+func (s *Service) JobInfo(id string) (JobState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.states[id]
+	if !ok {
+		return JobState{}, false
+	}
+	return copyState(st), true
+}
+
+// Jobs returns every job's state in submission order.
+func (s *Service) Jobs() []JobState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobState, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, copyState(s.states[id]))
+	}
+	return out
+}
+
+// copyState snapshots a JobState under the service lock. The Result
+// pointer and snapshot entries are immutable once published, so
+// sharing them with readers is safe; only the slice header is copied.
+func copyState(st *JobState) JobState {
+	cp := *st
+	cp.Snapshots = st.Snapshots[:len(st.Snapshots):len(st.Snapshots)]
+	return cp
+}
+
+// StreamFrom blocks until job id has snapshots beyond `have` or
+// reaches a terminal state, then returns the new snapshots, the
+// (possibly terminal) status, and the updated cursor. Callers loop
+// until Terminal; any goroutine may call it while the engine
+// goroutine drives the job.
+func (s *Service) StreamFrom(id string, have int) ([]Snapshot, JobStatus, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		st, ok := s.states[id]
+		if !ok {
+			return nil, "", have, fmt.Errorf("jobserver: no job %q", id)
+		}
+		if len(st.Snapshots) > have || st.Status.Terminal() {
+			fresh := st.Snapshots[have:len(st.Snapshots):len(st.Snapshots)]
+			return fresh, st.Status, len(st.Snapshots), nil
+		}
+		if s.closed {
+			return nil, st.Status, have, errors.New("jobserver: service shut down")
+		}
+		s.cond.Wait()
+	}
+}
+
+// Stats is the service-level dashboard snapshot.
+type Stats struct {
+	Policy      string  `json:"policy"`
+	VirtualNow  float64 `json:"virtualNow"`
+	EnergyWh    float64 `json:"energyWh"`
+	Active      int     `json:"active"`
+	Queued      int     `json:"queued"`
+	Submitted   int     `json:"submitted"`
+	Done        int     `json:"done"`
+	Failed      int     `json:"failed"`
+	Canceled    int     `json:"canceled"`
+	Rejected    int     `json:"rejected"`
+	MapSlots    int     `json:"mapSlots"`
+	ReduceSlots int     `json:"reduceSlots"`
+}
+
+// Stats reports current service counters. The engine fields (virtual
+// time, energy) are only consistent when sampled on the goroutine
+// driving the engine — Daemon.Stats routes there; the mu-guarded
+// counters are exact from anywhere.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Policy:      s.cfg.Policy.String(),
+		VirtualNow:  s.eng.Now(),
+		EnergyWh:    s.eng.EnergyWh(),
+		Active:      len(s.active),
+		Queued:      len(s.queue),
+		Submitted:   len(s.order),
+		Done:        s.nDone,
+		Failed:      s.nFailed,
+		Canceled:    s.nCanceled,
+		Rejected:    s.nRejected,
+		MapSlots:    s.eng.TotalSlots(cluster.MapSlot),
+		ReduceSlots: s.eng.TotalSlots(cluster.ReduceSlot),
+	}
+}
+
+// Replay runs a whole submission trace to completion synchronously on
+// the calling goroutine: every spec is scheduled at its SubmitAt
+// offset on the virtual clock (sorted via SortTrace first), the engine
+// runs until idle, and the final states come back in sorted-trace
+// order. Because admission, scheduling, and completion all happen in
+// virtual-time order on one goroutine, the same trace yields
+// byte-identical per-job results no matter how the specs were
+// gathered or how many pool workers execute map compute.
+func (s *Service) Replay(specs []JobSpec) []JobState {
+	ordered := SortTrace(specs)
+	base := s.eng.Now()
+	ids := make([]string, len(ordered))
+	errs := make([]error, len(ordered))
+	for i := range ordered {
+		i := i
+		spec := ordered[i]
+		s.eng.At(base+spec.SubmitAt, func() {
+			ids[i], errs[i] = s.Submit(spec)
+		})
+	}
+	s.eng.Run()
+	out := make([]JobState, len(ordered))
+	for i := range ordered {
+		if errs[i] != nil {
+			out[i] = JobState{Spec: ordered[i], Status: StatusRejected, Err: errs[i].Error(), SubmitVT: base + ordered[i].SubmitAt}
+			continue
+		}
+		st, _ := s.JobInfo(ids[i])
+		out[i] = st
+	}
+	return out
+}

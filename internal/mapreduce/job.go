@@ -140,6 +140,11 @@ type Job struct {
 	// order (launches, completions, kills, drops, speculation).
 	Trace Tracer
 
+	// RecordTrace additionally accumulates every scheduling event into
+	// Result.Trace, so completed runs can be dumped (approxrun -trace)
+	// or replay-diffed without wiring a live Tracer.
+	RecordTrace bool
+
 	// OnSnapshot, when set together with SnapshotEvery > 0, receives
 	// the job's current cross-partition estimates every SnapshotEvery
 	// virtual seconds while maps are still running — the "online

@@ -368,9 +368,9 @@ func TestLocalityPreferred(t *testing.T) {
 	if err := nn.Register(input); err != nil {
 		t.Fatal(err)
 	}
-	tr := &tracker{eng: eng, job: &Job{}}
+	tr := &tracker{eng: eng, job: &Job{}, arb: newGreedyArbiter(eng)}
 	for _, b := range input.Blocks {
-		srv := tr.pickServer(b)
+		srv, _ := tr.pickServer(b)
 		found := false
 		for _, rep := range b.Replicas {
 			if rep == srv.ID {

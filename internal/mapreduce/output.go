@@ -99,3 +99,31 @@ func WriteJSON(w io.Writer, res *Result) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(jr)
 }
+
+// jsonEvent is the serialized form of one trace Event.
+type jsonEvent struct {
+	Time   float64 `json:"t"`
+	Kind   string  `json:"kind"`
+	Task   int     `json:"task"`
+	Server string  `json:"server,omitempty"`
+	Ratio  float64 `json:"ratio,omitempty"`
+}
+
+// WriteTraceJSONL writes a recorded scheduling trace (Result.Trace) as
+// JSON Lines: one event object per line, in virtual-time order.
+func WriteTraceJSONL(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		je := jsonEvent{
+			Time:   ev.Time,
+			Kind:   ev.Kind.String(),
+			Task:   ev.Task,
+			Server: ev.Server,
+			Ratio:  ev.Ratio,
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return nil
+}

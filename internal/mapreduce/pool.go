@@ -28,10 +28,10 @@ import (
 type pendingLaunch struct {
 	idx    int
 	ratio  float64
-	spec   bool                        // speculative: duration is not re-perturbed
-	handle *cluster.RunningTask        // slot occupied at decide time
-	run    func() (*mapResult, error)  // nil on a cache hit
-	res    *mapResult                  // filled by the pool (or the cache)
+	spec   bool                       // speculative: duration is not re-perturbed
+	handle *cluster.RunningTask       // slot occupied at decide time
+	run    func() (*mapResult, error) // nil on a cache hit
+	res    *mapResult                 // filled by the pool (or the cache)
 	err    error
 }
 
@@ -43,6 +43,7 @@ type computePool struct {
 	once    sync.Once
 	jobs    chan func()
 	wg      sync.WaitGroup
+	closed  bool
 }
 
 // newComputePool sizes a pool; workers <= 0 means GOMAXPROCS.
@@ -82,7 +83,10 @@ func (p *computePool) runAll(batch []*pendingLaunch) {
 	if len(todo) == 0 {
 		return
 	}
-	if p.workers <= 1 || len(todo) == 1 {
+	if p.workers <= 1 || len(todo) == 1 || p.closed {
+		// Inline execution: single-worker pools, single-entry batches,
+		// and the tail flush of a job whose pool was already torn down
+		// (a fail() mid-pass) all resolve on the scheduler goroutine.
 		for _, pl := range todo {
 			pl.res, pl.err = pl.run()
 		}
@@ -101,8 +105,12 @@ func (p *computePool) runAll(batch []*pendingLaunch) {
 	wg.Wait()
 }
 
-// close shuts the workers down; the pool must not be used afterwards.
+// close shuts the workers down; later runAll calls execute inline.
 func (p *computePool) close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
 	if p.jobs != nil {
 		close(p.jobs)
 		p.wg.Wait()

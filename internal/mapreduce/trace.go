@@ -68,10 +68,16 @@ func (e Event) String() string {
 // available for debugging).
 type Tracer func(Event)
 
-// emit sends an event to the job's tracer, if any.
+// emit sends an event to the job's tracer and/or the recorded trace.
 func (t *tracker) emit(kind EventKind, task int, server string, ratio float64) {
-	if t.job.Trace == nil {
+	if t.job.Trace == nil && !t.job.RecordTrace {
 		return
 	}
-	t.job.Trace(Event{Kind: kind, Time: t.eng.Now(), Task: task, Server: server, Ratio: ratio})
+	ev := Event{Kind: kind, Time: t.eng.Now(), Task: task, Server: server, Ratio: ratio}
+	if t.job.RecordTrace {
+		t.events = append(t.events, ev)
+	}
+	if t.job.Trace != nil {
+		t.job.Trace(ev)
+	}
 }

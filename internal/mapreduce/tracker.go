@@ -37,6 +37,7 @@ type reduceTask struct {
 type tracker struct {
 	eng *cluster.Engine
 	job *Job
+	arb SlotArbiter
 
 	blocks  []*dfs.Block
 	order   []int // launch order (random unless SequentialOrder)
@@ -75,6 +76,9 @@ type tracker struct {
 	startTime   float64
 	startEnergy float64
 	startBreak  cluster.EnergyBreakdown
+	onDone      func(*Result, error)
+	doneFired   bool
+	events      []Event // recorded when job.RecordTrace
 
 	// Compute-plane state (see pool.go): launches decided during the
 	// current scheduling pass await their map compute, which runs on
@@ -99,12 +103,97 @@ type cachedMap struct {
 // current values, so several jobs can share a timeline; most callers
 // use a fresh engine per job.
 func Run(eng *cluster.Engine, job *Job) (*Result, error) {
+	h, err := Start(eng, job, StartOptions{})
+	if err != nil {
+		return nil, err
+	}
+	eng.Run()
+	return h.Outcome()
+}
+
+// StartOptions configures how a job is attached to a shared engine.
+type StartOptions struct {
+	// Arbiter grants map slots; nil installs the single-job greedy
+	// arbiter (whole cluster, replica-preferring placement).
+	Arbiter SlotArbiter
+	// OnDone, when set, is invoked exactly once on the scheduler
+	// goroutine — in virtual-time order — when the job completes or
+	// fails. Multi-job services use it to free admission capacity and
+	// dispatch queued work at the correct virtual instant.
+	OnDone func(*Result, error)
+}
+
+// Handle is the running-job handle returned by Start. Its methods must
+// be called from the goroutine driving the engine (the virtual-time
+// plane is single-threaded by design).
+type Handle struct {
+	t *tracker
+}
+
+// Job returns the job this handle tracks.
+func (h *Handle) Job() *Job { return h.t.job }
+
+// Done reports whether the job has completed or failed.
+func (h *Handle) Done() bool { return h.t.result != nil || h.t.failErr != nil }
+
+// Outcome returns the job's result once Done; calling it earlier
+// yields a descriptive error.
+func (h *Handle) Outcome() (*Result, error) {
+	if h.t.failErr != nil {
+		return nil, h.t.failErr
+	}
+	if h.t.result == nil {
+		return nil, fmt.Errorf("mapreduce: job %q did not complete", h.t.job.Name)
+	}
+	return h.t.result, nil
+}
+
+// Progress reports the job's counters so far (a copy).
+func (h *Handle) Progress() Counters { return h.t.counters }
+
+// MapDemand returns the number of map tasks the job still wants to
+// launch (pending, including queued retries). Arbiters use it to tell
+// a hungry job from one that is merely waiting out its tail.
+func (h *Handle) MapDemand() int { return h.t.pendingCount() }
+
+// RunningAttempts returns the number of map attempts in flight.
+func (h *Handle) RunningAttempts() int {
+	n := 0
+	for _, as := range h.t.attempts {
+		n += len(as)
+	}
+	return n
+}
+
+// Kick schedules a scheduling pass for the job at the current virtual
+// time. Arbiters call it when capacity frees for a job they previously
+// told to wait.
+func (h *Handle) Kick() { h.t.scheduleFill() }
+
+// Cancel aborts the job at the current virtual time: running attempts
+// are killed, its reduce slots are released, and Outcome reports a
+// cancellation error.
+func (h *Handle) Cancel() {
+	if h.Done() {
+		return
+	}
+	h.t.fail(fmt.Errorf("mapreduce: job %q canceled", h.t.job.Name))
+}
+
+// Start attaches a job to the engine without driving it: the tracker's
+// events are scheduled on the engine's virtual timeline and the job
+// makes progress whenever the caller pumps the engine (Run or Step).
+// Many jobs may be started on one engine; the arbiter in opts decides
+// how they share map slots.
+func Start(eng *cluster.Engine, job *Job, opts StartOptions) (*Handle, error) {
 	if err := job.Validate(eng); err != nil {
 		return nil, err
 	}
 	t := &tracker{
 		eng:          eng,
 		job:          job,
+		arb:          opts.Arbiter,
+		onDone:       opts.OnDone,
 		blocks:       job.Input.Blocks,
 		attempts:     make(map[int][]*cluster.RunningTask),
 		curRatio:     1,
@@ -113,6 +202,9 @@ func Run(eng *cluster.Engine, job *Job) (*Result, error) {
 		blacklist:    make(map[string]bool),
 		resCache:     make(map[int]cachedMap),
 	}
+	if t.arb == nil {
+		t.arb = newGreedyArbiter(eng)
+	}
 	workers := job.Workers
 	if _, ok := job.Meter.(vtime.Forker); !ok {
 		// A meter that cannot fork per-attempt children would be shared
@@ -120,7 +212,6 @@ func Run(eng *cluster.Engine, job *Job) (*Result, error) {
 		workers = 1
 	}
 	t.pool = newComputePool(workers)
-	defer t.pool.close()
 	n := len(t.blocks)
 	t.state = make([]taskState, n)
 	t.ratios = make([]float64, n)
@@ -147,6 +238,7 @@ func Run(eng *cluster.Engine, job *Job) (*Result, error) {
 	t.startBreak = eng.EnergyBreakdown()
 	eng.Inject(job.Faults)
 	if err := t.startReduces(); err != nil {
+		t.pool.close()
 		return nil, err
 	}
 	if job.Retry.JobDeadline > 0 {
@@ -156,14 +248,21 @@ func Run(eng *cluster.Engine, job *Job) (*Result, error) {
 		eng.After(job.SnapshotEvery, t.snapshotTick)
 	}
 	eng.At(eng.Now(), t.fill)
-	eng.Run()
-	if t.failErr != nil {
-		return nil, t.failErr
+	return &Handle{t: t}, nil
+}
+
+// fireDone runs the end-of-job bookkeeping exactly once: the compute
+// pool is torn down (late flushes fall back to inline execution) and
+// the OnDone hook observes the outcome at the current virtual time.
+func (t *tracker) fireDone() {
+	if t.doneFired {
+		return
 	}
-	if t.result == nil {
-		return nil, fmt.Errorf("mapreduce: job %q did not complete", job.Name)
+	t.doneFired = true
+	t.pool.close()
+	if t.onDone != nil {
+		t.onDone(t.result, t.failErr)
 	}
-	return t.result, nil
 }
 
 // startReduces places one reduce task per partition on servers with
@@ -247,9 +346,11 @@ func (t *tracker) fillPass() {
 			}
 			continue
 		}
-		srv := t.pickServer(t.blocks[idx])
+		srv, wait := t.pickServer(t.blocks[idx])
 		if srv == nil {
-			t.handleStall()
+			if !wait {
+				t.handleStall()
+			}
 			return
 		}
 		ratio := t.ratios[idx]
@@ -301,10 +402,12 @@ func (t *tracker) fillPass() {
 				ratio = r
 			}
 		}
-		srv := t.pickServer(t.blocks[idx])
+		srv, wait := t.pickServer(t.blocks[idx])
 		if srv == nil {
-			t.handleStall()
-			break // no free map slots anywhere right now
+			if !wait {
+				t.handleStall()
+			}
+			break // no slot granted right now
 		}
 		t.launch(idx, srv, ratio)
 		if t.failErr != nil {
@@ -320,25 +423,23 @@ func (t *tracker) fillPass() {
 	t.checkCompletion()
 }
 
-// pickServer chooses a non-blacklisted server with a free map slot,
-// preferring the block's surviving replica holders (data locality,
-// like Hadoop's JobTracker).
-func (t *tracker) pickServer(b *dfs.Block) *cluster.Server {
-	var fallback *cluster.Server
-	for _, s := range t.eng.Servers() {
-		if t.blacklist[s.ID] || s.FreeSlots(cluster.MapSlot) <= 0 {
-			continue
-		}
-		for _, rep := range b.Replicas {
-			if rep == s.ID {
-				return s
-			}
-		}
-		if fallback == nil {
-			fallback = s
-		}
-	}
-	return fallback
+// pickServer requests a map slot from the arbiter for the given
+// block, preferring its replica holders (data locality, like Hadoop's
+// JobTracker) and excluding blacklisted servers. A nil server with
+// wait=true means the arbiter applied backpressure and will kick the
+// job when capacity frees; wait=false means no eligible server exists
+// and stall handling applies.
+func (t *tracker) pickServer(b *dfs.Block) (*cluster.Server, bool) {
+	return t.arb.AcquireMap(SlotRequest{
+		Job:      t.job,
+		Prefer:   b.Replicas,
+		Eligible: t.eligibleServer,
+	})
+}
+
+// eligibleServer is the per-job server filter handed to the arbiter.
+func (t *tracker) eligibleServer(s *cluster.Server) bool {
+	return !t.blacklist[s.ID]
 }
 
 // serverAlive is the liveness predicate handed to dfs replica queries.
@@ -616,6 +717,10 @@ func (t *tracker) flushLaunches() {
 
 // onMapDone handles completion or kill of one map attempt.
 func (t *tracker) onMapDone(idx int, handle *cluster.RunningTask, res *mapResult, killed bool) {
+	// Every attempt end releases its arbiter grant, even on the abort
+	// path below — the engine has already freed the physical slot, and
+	// multi-job arbiters kick waiting jobs from this notification.
+	t.arb.ReleaseMap(t.job, handle.Server)
 	if t.failErr != nil {
 		return
 	}
@@ -723,6 +828,13 @@ func (t *tracker) consume(r *reduceTask, out *MapOutput) {
 
 // applyDirective enacts a controller decision.
 func (t *tracker) applyDirective(d Directive) {
+	if d.Abort != nil {
+		// A controller that concludes the job cannot meet its contract
+		// (e.g. an infeasible deadline SLO) fails it with the
+		// controller's descriptive error instead of guessing.
+		t.fail(d.Abort)
+		return
+	}
 	if d.SampleRatio > 0 {
 		t.curRatio = math.Min(d.SampleRatio, 1)
 	}
@@ -778,7 +890,7 @@ func (t *tracker) maybeSpeculate() {
 		if now-a.Start <= threshold {
 			continue
 		}
-		srv := t.pickServer(t.blocks[idx])
+		srv, _ := t.pickServer(t.blocks[idx])
 		if srv == nil {
 			return
 		}
@@ -890,7 +1002,9 @@ func (t *tracker) completeJob() {
 		},
 		Counters: t.counters,
 		RealSecs: t.realSecs,
+		Trace:    t.events,
 	}
+	t.fireDone()
 }
 
 // fail aborts the job: running attempts are killed and pending tasks
@@ -908,6 +1022,7 @@ func (t *tracker) fail(err error) {
 	for _, r := range t.reduces {
 		t.eng.FinishTask(r.handle)
 	}
+	t.fireDone()
 }
 
 // estView builds the EstimateView reduces evaluate against.
@@ -953,9 +1068,17 @@ func (t *tracker) view() *JobView {
 		}
 		avgItems = float64(s) / float64(len(t.measures))
 	}
+	slots := t.eng.TotalSlots(cluster.MapSlot)
+	if q := t.arb.MapQuota(t.job); q > 0 && q < slots {
+		// Under multi-tenancy the job's effective wave width is its
+		// fair share, not the whole cluster; controllers plan waves
+		// against what the arbiter will actually grant.
+		slots = q
+	}
 	return &JobView{
 		TotalMaps:     len(t.blocks),
-		TotalMapSlots: t.eng.TotalSlots(cluster.MapSlot),
+		TotalMapSlots: slots,
+		Elapsed:       t.eng.Now() - t.startTime,
 		Launched:      t.launched,
 		Completed:     t.completed,
 		Dropped:       t.dropped,

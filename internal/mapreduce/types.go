@@ -143,6 +143,10 @@ type Directive struct {
 	KillRunning bool    // also kill currently running maps
 	SampleRatio float64 // if > 0, input sampling ratio for future launches
 	MaxLaunch   int     // if > 0, cap total map launches at this count
+	// Abort, when non-nil, fails the job with this error: the
+	// controller has concluded the job cannot meet its contract (e.g.
+	// a deadline SLO that is infeasible even at the cheapest ratios).
+	Abort error
 }
 
 // JobView is the read-only window a Controller gets onto a running job.
@@ -155,6 +159,11 @@ type JobView struct {
 	Running       int
 	Pending       int
 	Confidence    float64
+	// Elapsed is the virtual time since the job started — what a
+	// deadline controller budgets against. Note TotalMapSlots is the
+	// job's *effective* slot count: under a multi-tenant arbiter it is
+	// the job's share, not the whole cluster.
+	Elapsed float64
 	// Measures holds the cluster.TaskMeasure of each completed map, in
 	// completion order, for cost-model fitting.
 	Measures []cluster.TaskMeasure
@@ -234,6 +243,9 @@ type Result struct {
 	// under the default vtime.Deterministic meter, host wall-clock
 	// seconds under vtime.Wall (calibration and benchmarks).
 	RealSecs float64
+	// Trace is the job's full scheduling-event log in virtual-time
+	// order, recorded when Job.RecordTrace is set (nil otherwise).
+	Trace []Event
 }
 
 // Output returns the estimate for a key, with ok=false when absent

@@ -1,0 +1,141 @@
+package approxhadoop_test
+
+import (
+	"runtime"
+	"strconv"
+	"testing"
+
+	approxhadoop "approxhadoop"
+	"approxhadoop/internal/stats"
+)
+
+// checkTraceInvariants verifies the structural accounting of a
+// recorded execution trace against the job's counters. The invariants
+// hold for any job without a Retry.JobDeadline (deadline-cut attempts
+// close by degrading the task rather than by a per-attempt event):
+//
+//   - events are in nondecreasing virtual-time order;
+//   - job-completed occurs exactly once, as the last event;
+//   - every launched attempt (map-launched or map-speculated) is closed
+//     by exactly one terminal event (map-completed, map-killed or
+//     map-failed) for its task — attempts and closures balance per task;
+//   - a task completes at most once, and a completed task is never also
+//     dropped or degraded;
+//   - per-kind event counts equal the corresponding result counters.
+func checkTraceInvariants(t *testing.T, label string, res *approxhadoop.Result) {
+	t.Helper()
+	events := res.Trace
+	if len(events) == 0 {
+		t.Fatalf("%s: no trace events recorded", label)
+	}
+
+	jobDone := 0
+	perTask := map[int]map[approxhadoop.EventKind]int{}
+	counts := map[approxhadoop.EventKind]int{}
+	for i, e := range events {
+		if i > 0 && e.Time < events[i-1].Time {
+			t.Errorf("%s: event %d (%s) at t=%v before predecessor at t=%v",
+				label, i, e.Kind, e.Time, events[i-1].Time)
+		}
+		counts[e.Kind]++
+		if e.Kind == approxhadoop.EventJobCompleted {
+			jobDone++
+			if i != len(events)-1 {
+				t.Errorf("%s: job-completed at index %d of %d, not last", label, i, len(events))
+			}
+			continue
+		}
+		if e.Task >= 0 && e.Kind != approxhadoop.EventReduceFinished {
+			m := perTask[e.Task]
+			if m == nil {
+				m = map[approxhadoop.EventKind]int{}
+				perTask[e.Task] = m
+			}
+			m[e.Kind]++
+		}
+	}
+	if jobDone != 1 {
+		t.Errorf("%s: %d job-completed events, want exactly 1", label, jobDone)
+	}
+
+	for task, m := range perTask {
+		launches := m[approxhadoop.EventMapLaunched] + m[approxhadoop.EventMapSpeculated]
+		closures := m[approxhadoop.EventMapCompleted] + m[approxhadoop.EventMapKilled] + m[approxhadoop.EventMapFailed]
+		if launches != closures {
+			t.Errorf("%s: task %d: %d launched attempts but %d terminal events (%v)",
+				label, task, launches, closures, m)
+		}
+		if m[approxhadoop.EventMapCompleted] > 1 {
+			t.Errorf("%s: task %d completed %d times", label, task, m[approxhadoop.EventMapCompleted])
+		}
+		if m[approxhadoop.EventMapCompleted] == 1 &&
+			(m[approxhadoop.EventMapDropped] > 0 || m[approxhadoop.EventMapDegraded] > 0) {
+			t.Errorf("%s: task %d both completed and dropped/degraded (%v)", label, task, m)
+		}
+		if m[approxhadoop.EventMapDropped]+m[approxhadoop.EventMapDegraded] > 1 {
+			t.Errorf("%s: task %d dropped/degraded more than once (%v)", label, task, m)
+		}
+	}
+
+	c := res.Counters
+	for _, want := range []struct {
+		kind approxhadoop.EventKind
+		n    int
+	}{
+		{approxhadoop.EventMapCompleted, c.MapsCompleted},
+		{approxhadoop.EventMapKilled, c.MapsKilled},
+		{approxhadoop.EventMapFailed, c.MapsFailed},
+		{approxhadoop.EventMapRetried, c.MapsRetried},
+		{approxhadoop.EventMapDropped, c.MapsDropped},
+		{approxhadoop.EventMapDegraded, c.MapsDegraded},
+		{approxhadoop.EventMapSpeculated, c.MapsSpeculated},
+		{approxhadoop.EventServerBlacklisted, c.ServersBlacklisted},
+	} {
+		if counts[want.kind] != want.n {
+			t.Errorf("%s: %d %s events but counter says %d", label, counts[want.kind], want.kind, want.n)
+		}
+	}
+}
+
+// compareTraces requires two runs' event logs to agree bitwise: same
+// length, and the same kind/time/task/server/ratio at every position.
+func compareTraces(t *testing.T, label string, a, b []approxhadoop.Event) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: trace lengths differ: %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Kind != y.Kind || x.Task != y.Task || x.Server != y.Server ||
+			!stats.AlmostEqual(x.Time, y.Time, 0) ||
+			!stats.AlmostEqual(x.Ratio, y.Ratio, 0) {
+			t.Fatalf("%s: event %d differs:\n got %v\nwant %v", label, i, y, x)
+		}
+	}
+}
+
+// TestTraceInvariants extends the determinism acceptance check to the
+// scheduling-event log: the canonical jobs (clean and fault-injected)
+// must record structurally consistent traces, and the entire event
+// sequence — not just the outputs — must be identical for any
+// map-compute pool size. A pool-size-dependent event order here is the
+// first symptom of compute leaking onto the virtual timeline, caught
+// long before it shows up as a diverging estimate.
+func TestTraceInvariants(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		withFaults bool
+	}{{"clean", false}, {"faults", true}} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			base := detRun(t, 1, tc.withFaults)
+			checkTraceInvariants(t, "workers=1", base)
+			for _, w := range []int{2, runtime.GOMAXPROCS(0) + 1} {
+				pooled := detRun(t, w, tc.withFaults)
+				label := "workers=" + strconv.Itoa(w)
+				checkTraceInvariants(t, label, pooled)
+				compareTraces(t, label, base.Trace, pooled.Trace)
+			}
+		})
+	}
+}

@@ -12,6 +12,7 @@
 //	approxbench -experiment fig6 -quick -json bench.json     # record
 //	approxbench -experiment fig6 -quick -compare bench.json  # benchstat-style deltas
 //	approxbench -experiment fig7 -cpuprofile cpu.out         # pprof
+//	approxbench -experiment fig7 -allocprofile allocs.out    # allocation sites
 //	approxbench -experiment all -parallel 1 -workers 1       # sequential baseline
 //
 // Experiments: table1 table2 fig5 fig6 fig7 fig8 fig9a fig9b fig9c
@@ -59,18 +60,19 @@ func fatalf(format string, args ...interface{}) {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (table1,...,fig13,userdef,ablations,all)")
-		scale      = flag.Float64("scale", 1, "dataset scale multiplier")
-		reps       = flag.Int("reps", 3, "repetitions per data point")
-		seed       = flag.Int64("seed", 42, "base random seed")
-		quick      = flag.Bool("quick", false, "shortcut for -scale 0.1 -reps 1")
-		parallel   = flag.Int("parallel", 0, "concurrently simulated jobs (0 = GOMAXPROCS, 1 = sequential)")
-		workers    = flag.Int("workers", 0, "map-compute pool size per job (0 = GOMAXPROCS, 1 = inline)")
-		jsonOut    = flag.String("json", "", "write per-experiment wall-clock/alloc stats to this file")
-		compare    = flag.String("compare", "", "print benchstat-style deltas against a previous -json file")
-		note       = flag.String("note", "", "free-form annotation stored in the -json file")
-		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		experiment   = flag.String("experiment", "all", "experiment id (table1,...,fig13,userdef,ablations,all)")
+		scale        = flag.Float64("scale", 1, "dataset scale multiplier")
+		reps         = flag.Int("reps", 3, "repetitions per data point")
+		seed         = flag.Int64("seed", 42, "base random seed")
+		quick        = flag.Bool("quick", false, "shortcut for -scale 0.1 -reps 1")
+		parallel     = flag.Int("parallel", 0, "concurrently simulated jobs (0 = GOMAXPROCS, 1 = sequential)")
+		workers      = flag.Int("workers", 0, "map-compute pool size per job (0 = GOMAXPROCS, 1 = inline)")
+		jsonOut      = flag.String("json", "", "write per-experiment wall-clock/alloc stats to this file")
+		compare      = flag.String("compare", "", "print benchstat-style deltas against a previous -json file")
+		note         = flag.String("note", "", "free-form annotation stored in the -json file")
+		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		allocprofile = flag.String("allocprofile", "", "write a pprof allocs profile (every allocation site, not just live heap) to this file on exit")
 	)
 	flag.Parse()
 
@@ -202,6 +204,22 @@ func main() {
 			fatalf("memprofile: %v", err)
 		}
 	}
+	if *allocprofile != "" {
+		f, err := os.Create(*allocprofile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		// The allocs profile keeps freed objects, so it attributes the
+		// full churn of the run to its call sites — the view that
+		// matters for the zero-allocation data plane, where -memprofile
+		// (live heap) would show almost nothing.
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fatalf("allocprofile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("allocprofile: %v", err)
+		}
+	}
 }
 
 // printCompare renders benchstat-style old/new/delta rows for every
@@ -221,15 +239,20 @@ func printCompare(path string, cur Trajectory) error {
 	}
 	fmt.Printf("\nvs %s (scale=%g reps=%d workers=%d parallel=%d)\n",
 		path, base.Scale, base.Reps, base.Workers, base.Parallel)
-	fmt.Printf("%-12s %12s %12s %8s   %14s %14s %8s\n",
-		"experiment", "old s", "new s", "delta", "old allocs", "new allocs", "delta")
+	fmt.Printf("%-12s %9s %9s %8s   %10s %10s %8s   %12s %12s %8s\n",
+		"experiment", "old s", "new s", "delta",
+		"old MB", "new MB", "delta",
+		"old mallocs", "new mallocs", "delta")
 	for _, e := range cur.Experiments {
 		o, ok := old[e.Name]
 		if !ok {
 			continue
 		}
-		fmt.Printf("%-12s %12.3f %12.3f %7.1f%%   %14d %14d %7.1f%%\n",
+		const mb = 1 << 20
+		fmt.Printf("%-12s %9.3f %9.3f %7.1f%%   %10.1f %10.1f %7.1f%%   %12d %12d %7.1f%%\n",
 			e.Name, o.WallSecs, e.WallSecs, pctDelta(o.WallSecs, e.WallSecs),
+			float64(o.AllocBytes)/mb, float64(e.AllocBytes)/mb,
+			pctDelta(float64(o.AllocBytes), float64(e.AllocBytes)),
 			o.Mallocs, e.Mallocs, pctDelta(float64(o.Mallocs), float64(e.Mallocs)))
 	}
 	return nil

@@ -59,7 +59,7 @@ func expectedDiags(t *testing.T, path string) map[string]int {
 
 func TestFixtures(t *testing.T) {
 	fset := token.NewFileSet()
-	imp, err := StdImporter("../..", fset, "time", "math/rand", "fmt", "strings", "errors")
+	imp, err := StdImporter("../..", fset, "time", "math/rand", "fmt", "strings", "errors", "sync")
 	if err != nil {
 		t.Fatal(err)
 	}

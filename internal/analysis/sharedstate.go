@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -35,9 +36,11 @@ var Sharedstate = &Analyzer{
 	Name: "sharedstate",
 	Doc: "forbid compute-plane code (functions marked //approx:compute and their " +
 		"same-package callees) from touching scheduler-plane state: selectors on " +
-		"tracker/Engine/Server/RunningTask values, the shared Job.Meter, and writes " +
-		"to package-level variables; map compute runs on pool goroutines " +
-		"concurrently with the virtual-time scheduler and must stay pure",
+		"tracker/Engine/Server/RunningTask values, the shared Job.Meter, writes " +
+		"to package-level variables, and sync.Pool (pool hand-out order depends on " +
+		"goroutine scheduling; use an attempt-owned free list like BufList); map " +
+		"compute runs on pool goroutines concurrently with the virtual-time " +
+		"scheduler and must stay pure",
 	Run: runSharedstate,
 }
 
@@ -120,6 +123,18 @@ func checkComputeBody(p *Pass, fd *ast.FuncDecl) {
 	name := fd.Name.Name
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if named := derefNamed(p.Info.Types[n].Type); named != nil && isSyncPool(named) {
+				reportSyncPool(p, name, n.Pos())
+			}
+		case *ast.ValueSpec:
+			for _, id := range n.Names {
+				if v, ok := p.Info.Defs[id].(*types.Var); ok {
+					if named := derefNamed(v.Type()); named != nil && isSyncPool(named) {
+						reportSyncPool(p, name, id.Pos())
+					}
+				}
+			}
 		case *ast.SelectorExpr:
 			t := p.Info.Types[n.X].Type
 			if t == nil {
@@ -128,6 +143,9 @@ func checkComputeBody(p *Pass, fd *ast.FuncDecl) {
 			named := derefNamed(t)
 			if named == nil {
 				return true
+			}
+			if isSyncPool(named) {
+				reportSyncPool(p, name, n.Pos())
 			}
 			obj := named.Obj()
 			if schedulerPlaneTypes[obj.Name()] && fromSchedulerPlane(p, obj) {
@@ -149,6 +167,20 @@ func checkComputeBody(p *Pass, fd *ast.FuncDecl) {
 		}
 		return true
 	})
+}
+
+// isSyncPool reports whether a named type is sync.Pool. Pools hand
+// buffers out in goroutine-scheduling order, so any use inside the
+// compute plane lets pool size leak into results.
+func isSyncPool(named *types.Named) bool {
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+func reportSyncPool(p *Pass, fn string, pos token.Pos) {
+	p.Reportf(pos,
+		"compute-plane function %s uses sync.Pool; pool hand-out order depends on goroutine scheduling — use an attempt-owned free list (mapreduce.BufList) instead",
+		fn)
 }
 
 // derefNamed unwraps one pointer level and returns the named type, if

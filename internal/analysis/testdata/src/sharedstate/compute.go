@@ -3,6 +3,8 @@
 // callees must not touch scheduler-plane state.
 package compute
 
+import "sync"
+
 // Engine doubles for the cluster engine (scheduler plane).
 type Engine struct{ now float64 }
 
@@ -28,10 +30,21 @@ var totalPairs int
 
 //approx:compute
 func run(job *Job, t *tracker) float64 {
-	totalPairs++    // want: sharedstate
-	m := job.Meter  // want: sharedstate
+	totalPairs++   // want: sharedstate
+	m := job.Meter // want: sharedstate
 	m.Charge(1)
-	return helper(t) + float64(job.Seed)
+	return helper(t) + pooled() + float64(job.Seed)
+}
+
+// pooled is reachable from run: sync.Pool hands buffers out in
+// goroutine-scheduling order, so every use is a determinism leak.
+func pooled() float64 {
+	var bufPool sync.Pool                                     // want: sharedstate
+	bufPool.Put(make([]byte, 0, 8))                           // want: sharedstate
+	buf, _ := bufPool.Get().([]byte)                          // want: sharedstate
+	shared := &sync.Pool{New: func() any { return new(int) }} // want: sharedstate
+	_ = shared
+	return float64(len(buf))
 }
 
 // helper is reachable from run, so the compute contract extends here.
@@ -47,6 +60,14 @@ func unmarked(t *tracker) float64 {
 	return t.eng.Now()
 }
 
+// unmarkedPool is NOT reachable from a compute root: scheduler-plane
+// code may use sync.Pool freely.
+func unmarkedPool() interface{} {
+	var p sync.Pool
+	return p.Get()
+}
+
 // keep the symbols used so the fixture typechecks without imports
 var _ = run
 var _ = unmarked
+var _ = unmarkedPool

@@ -3,6 +3,7 @@ package approx
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"math"
 	"testing"
 
@@ -16,7 +17,7 @@ import (
 // lines, each line a small integer; the precise per-key totals are
 // computable in closed form by running the generator directly.
 func countInput(blocks, lines int, seed int64) (*dfs.File, map[string]float64) {
-	gen := func(idx int, r dfs.RandSource, w *bufio.Writer) error {
+	gen := func(idx int, r dfs.RandSource, w io.Writer) error {
 		for i := 0; i < lines; i++ {
 			k := r.Int63() % 5
 			v := r.Int63()%9 + 1
@@ -469,7 +470,7 @@ func TestGEVReducerBlockTransform(t *testing.T) {
 func TestTargetErrorGEVStopsEarly(t *testing.T) {
 	// Maps output minima of a search; a loose bound stops the job early.
 	blocks := 60
-	gen := func(idx int, r dfs.RandSource, w *bufio.Writer) error {
+	gen := func(idx int, r dfs.RandSource, w io.Writer) error {
 		_, err := fmt.Fprintf(w, "seed %d\n", r.Int63()%1000)
 		return err
 	}

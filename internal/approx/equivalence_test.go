@@ -1,0 +1,49 @@
+package approx
+
+import (
+	"fmt"
+	"testing"
+
+	"approxhadoop/internal/mapreduce"
+)
+
+// TestSamplingDataPlaneEquivalence gates the push-mode sampling reader:
+// a sampled job over generated blocks must produce a byte-identical
+// Result and trace whether records flow through the legacy pull path or
+// the zero-copy push path — same RNG draw sequence, same metered
+// Begin/End sequence, same float operations in the emitters and
+// estimators.
+func TestSamplingDataPlaneEquivalence(t *testing.T) {
+	for _, combine := range []bool{false, true} {
+		combine := combine
+		t.Run(fmt.Sprintf("combine=%v", combine), func(t *testing.T) {
+			run := func(legacy bool) (*mapreduce.Result, []mapreduce.Event) {
+				input, _ := countInput(16, 300, 9)
+				job := sumJob(input, NewStatic(0.3, 0.1))
+				job.Combine = combine
+				job.LegacyDataPlane = legacy
+				var events []mapreduce.Event
+				job.Trace = func(e mapreduce.Event) { events = append(events, e) }
+				res, err := mapreduce.Run(approxEngine(), job)
+				if err != nil {
+					t.Fatalf("legacy=%v: %v", legacy, err)
+				}
+				return res, events
+			}
+			legacyRes, legacyEvents := run(true)
+			arenaRes, arenaEvents := run(false)
+			want := fmt.Sprintf("%+v", *legacyRes)
+			if got := fmt.Sprintf("%+v", *arenaRes); got != want {
+				t.Errorf("arena data plane Result differs from legacy:\n got %s\nwant %s", got, want)
+			}
+			if len(arenaEvents) != len(legacyEvents) {
+				t.Fatalf("arena path emitted %d trace events, legacy %d", len(arenaEvents), len(legacyEvents))
+			}
+			for i := range arenaEvents {
+				if arenaEvents[i] != legacyEvents[i] {
+					t.Errorf("event %d = %v, legacy %v", i, arenaEvents[i], legacyEvents[i])
+				}
+			}
+		})
+	}
+}

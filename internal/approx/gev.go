@@ -72,13 +72,13 @@ func (r *ExtremeValueReducer) Consume(out *mapreduce.MapOutput) {
 	if out.Sampled < out.Items {
 		r.sampled = true
 	}
-	if out.Combined != nil {
+	if out.IsCombined() {
 		r.misconfigured = true
 		return
 	}
-	for _, kv := range out.Pairs {
-		r.values[kv.Key] = append(r.values[kv.Key], kv.Value)
-	}
+	out.EachPair(func(k string, v float64) {
+		r.values[k] = append(r.values[k], v)
+	})
 }
 
 // Observed returns the raw extreme seen so far for a key.

@@ -104,18 +104,16 @@ func (r *MultiStageReducer) Consume(out *mapreduce.MapOutput) {
 			agg.within += M * (M - float64(m)) * s2 / float64(m)
 		}
 	}
-	if out.Combined != nil {
-		for k, rs := range out.Combined {
-			consumeOne(k, rs)
-		}
+	if out.IsCombined() {
+		out.EachCombined(consumeOne)
 		return
 	}
 	tmp := make(map[string]stats.RunningStat)
-	for _, kv := range out.Pairs {
-		rs := tmp[kv.Key]
-		rs.Add(kv.Value)
-		tmp[kv.Key] = rs
-	}
+	out.EachPair(func(k string, v float64) {
+		rs := tmp[k]
+		rs.Add(v)
+		tmp[k] = rs
+	})
 	for k, rs := range tmp {
 		consumeOne(k, rs)
 	}

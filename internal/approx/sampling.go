@@ -11,6 +11,7 @@ import (
 	"approxhadoop/internal/mapreduce"
 	"approxhadoop/internal/stats"
 	"approxhadoop/internal/vtime"
+	"approxhadoop/internal/zerocopy"
 )
 
 // ApproxTextInput is the sampling analog of TextInputFormat (the
@@ -22,7 +23,10 @@ import (
 // framework forwards to reducers for the multi-stage estimators.
 type ApproxTextInput struct{}
 
-// Open implements mapreduce.InputFormat.
+// Open implements mapreduce.InputFormat. Like TextInputFormat, the
+// reader supports pull mode (Next, durable records) and push mode
+// (Push, zero-copy records over the block's line backing); both draw
+// the identical per-line sample decisions from the same seeded RNG.
 func (ApproxTextInput) Open(b *dfs.Block, sampleRatio float64, seed int64) (mapreduce.RecordReader, error) {
 	if b == nil {
 		return nil, fmt.Errorf("approx: nil block")
@@ -30,13 +34,9 @@ func (ApproxTextInput) Open(b *dfs.Block, sampleRatio float64, seed int64) (mapr
 	if sampleRatio <= 0 || sampleRatio > 1 {
 		sampleRatio = 1
 	}
-	rc := b.Open()
-	s := bufio.NewScanner(rc)
-	s.Buffer(make([]byte, 64<<10), 16<<20)
 	return &samplingReader{
+		block:     b,
 		keyPrefix: b.ID() + ":",
-		rc:        rc,
-		scan:      s,
 		ratio:     sampleRatio,
 		rng:       stats.NewRand(seed),
 		meter:     vtime.NewDeterministic(),
@@ -44,40 +44,72 @@ func (ApproxTextInput) Open(b *dfs.Block, sampleRatio float64, seed int64) (mapr
 }
 
 type samplingReader struct {
+	block     *dfs.Block
 	keyPrefix string
-	rc        io.ReadCloser
+	rc        io.ReadCloser // pull mode only, opened lazily
 	scan      *bufio.Scanner
 	ratio     float64
 	rng       *rand.Rand
 	meter     vtime.Meter
 	m         mapreduce.ReaderMeasure
-	keyBuf    []byte
+	bufs      *mapreduce.BufList
+	keyBuf    []byte // "blockID:" prefix resident, offset digits rewritten per record
 }
 
 // SetMeter implements mapreduce.MeterSetter.
 func (r *samplingReader) SetMeter(m vtime.Meter) { r.meter = m }
 
-// Next scans forward to the next sampled line. Skipped lines still
-// count toward Items and Bytes — and toward the metered read cost:
-// the block is read in full either way.
+// SetBuffers implements mapreduce.BufferLender.
+func (r *samplingReader) SetBuffers(l *mapreduce.BufList) { r.bufs = l }
+
+// key formats the record key for the given record index into keyBuf and
+// returns a view of it, valid until the next call.
+func (r *samplingReader) key(idx int64) []byte {
+	if r.keyBuf == nil {
+		min := len(r.keyPrefix) + 20
+		if r.bufs != nil {
+			r.keyBuf = r.bufs.Get(min)
+		} else {
+			r.keyBuf = make([]byte, 0, min)
+		}
+		r.keyBuf = append(r.keyBuf, r.keyPrefix...)
+	}
+	r.keyBuf = strconv.AppendInt(r.keyBuf[:len(r.keyPrefix)], idx, 10)
+	return r.keyBuf
+}
+
+// sampleLine accounts one scanned line and reports whether it is in the
+// sample. Skipped lines still count toward Items and Bytes — and toward
+// the metered read cost — because the block is read in full either way.
+func (r *samplingReader) sampleLine(n int64, units, bytes *int64) bool {
+	r.m.Items++
+	r.m.Bytes += n + 1
+	*units++
+	*bytes += n + 1
+	if r.ratio < 1 && r.rng.Float64() >= r.ratio {
+		return false // unit not in the sample
+	}
+	r.m.Sampled++
+	return true
+}
+
+// Next scans forward to the next sampled line.
 func (r *samplingReader) Next() (mapreduce.Record, bool, error) {
+	if r.scan == nil {
+		r.rc = r.block.Open()
+		r.scan = newLineScanner(r.rc)
+	}
 	r.meter.Begin(vtime.OpRead)
 	var units, bytes int64
 	for r.scan.Scan() {
 		line := r.scan.Text()
 		idx := r.m.Items
-		r.m.Items++
-		r.m.Bytes += int64(len(line)) + 1
-		units++
-		bytes += int64(len(line)) + 1
-		if r.ratio < 1 && r.rng.Float64() >= r.ratio {
-			continue // unit not in the sample
+		if !r.sampleLine(int64(len(line)), &units, &bytes) {
+			continue
 		}
-		r.m.Sampled++
-		r.keyBuf = append(r.keyBuf[:0], r.keyPrefix...)
-		r.keyBuf = strconv.AppendInt(r.keyBuf, idx, 10)
+		key := r.key(idx)
 		r.m.ReadSecs += r.meter.End(vtime.OpRead, units, bytes)
-		return mapreduce.Record{Key: string(r.keyBuf), Value: line}, true, nil
+		return mapreduce.Record{Key: string(key), Value: line}, true, nil
 	}
 	r.m.ReadSecs += r.meter.End(vtime.OpRead, units, bytes)
 	if err := r.scan.Err(); err != nil {
@@ -86,6 +118,60 @@ func (r *samplingReader) Next() (mapreduce.Record, bool, error) {
 	return mapreduce.Record{}, false, nil
 }
 
+// newLineScanner builds a scanner with a generous line-length cap.
+func newLineScanner(rd io.Reader) *bufio.Scanner {
+	s := bufio.NewScanner(rd)
+	s.Buffer(make([]byte, 64<<10), 16<<20)
+	return s
+}
+
+// Push implements mapreduce.RecordPusher over the block's line backing.
+// The meter call sequence replicates the Next loop exactly: one
+// Begin(OpRead) per sampled-record segment, with skipped lines'
+// units/bytes accumulating into the segment's End — so virtual timings
+// are bit-identical across modes. Record Key/Value are views of
+// reusable buffers, valid only inside fn.
+func (r *samplingReader) Push(fn func(rec mapreduce.Record)) (bool, error) {
+	if !r.block.CanYieldLines() {
+		return false, nil
+	}
+	var carry []byte
+	if r.bufs != nil {
+		carry = r.bufs.Get(256)
+	}
+	r.meter.Begin(vtime.OpRead)
+	var units, bytes int64
+	carry, err := r.block.Lines(carry, func(line []byte) error {
+		idx := r.m.Items
+		if !r.sampleLine(int64(len(line)), &units, &bytes) {
+			return nil
+		}
+		key := r.key(idx)
+		r.m.ReadSecs += r.meter.End(vtime.OpRead, units, bytes)
+		units, bytes = 0, 0
+		fn(mapreduce.Record{Key: zerocopy.String(key), Value: zerocopy.String(line)})
+		r.meter.Begin(vtime.OpRead)
+		return nil
+	})
+	if r.bufs != nil {
+		r.bufs.Put(carry)
+	}
+	r.m.ReadSecs += r.meter.End(vtime.OpRead, units, bytes)
+	if err != nil {
+		return true, fmt.Errorf("approx: reading %s: %w", r.keyPrefix, err)
+	}
+	return true, nil
+}
+
 func (r *samplingReader) Measure() mapreduce.ReaderMeasure { return r.m }
 
-func (r *samplingReader) Close() error { return r.rc.Close() }
+func (r *samplingReader) Close() error {
+	if r.bufs != nil && r.keyBuf != nil {
+		r.bufs.Put(r.keyBuf)
+		r.keyBuf = nil
+	}
+	if r.rc != nil {
+		return r.rc.Close()
+	}
+	return nil
+}

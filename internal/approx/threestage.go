@@ -51,18 +51,16 @@ func (r *ThreeStageReducer) Consume(out *mapreduce.MapOutput) {
 	add := func(key string, rs stats.RunningStat) {
 		r.keys[key] = append(r.keys[key], tsEntry{cluster: ci, pairs: rs.Count, stat: rs})
 	}
-	if out.Combined != nil {
-		for k, rs := range out.Combined {
-			add(k, rs)
-		}
+	if out.IsCombined() {
+		out.EachCombined(add)
 		return
 	}
 	tmp := make(map[string]stats.RunningStat)
-	for _, kv := range out.Pairs {
-		rs := tmp[kv.Key]
-		rs.Add(kv.Value)
-		tmp[kv.Key] = rs
-	}
+	out.EachPair(func(k string, v float64) {
+		rs := tmp[k]
+		rs.Add(v)
+		tmp[k] = rs
+	})
 	for k, rs := range tmp {
 		add(k, rs)
 	}

@@ -1,8 +1,8 @@
 package apps
 
 import (
-	"bufio"
 	"fmt"
+	"io"
 	"math"
 	"strconv"
 	"strings"
@@ -24,7 +24,7 @@ func KMeansData(name string, blocks, pointsPerBlock, centers int, seed int64) *d
 	if centers <= 0 {
 		centers = 4
 	}
-	gen := func(idx int, r dfs.RandSource, bw *bufio.Writer) error {
+	gen := func(idx int, r dfs.RandSource, bw io.Writer) error {
 		rr := stats.NewRand(r.Int63())
 		for i := 0; i < pointsPerBlock; i++ {
 			c := rr.Intn(centers)
@@ -170,7 +170,7 @@ func CentroidShift(a, b [][2]float64) float64 {
 // "frame<TAB>complexity" with scene-correlated complexity (consecutive
 // frames belong to the same scene).
 func VideoData(name string, blocks, framesPerBlock int, seed int64) *dfs.File {
-	gen := func(idx int, r dfs.RandSource, bw *bufio.Writer) error {
+	gen := func(idx int, r dfs.RandSource, bw io.Writer) error {
 		rr := stats.NewRand(r.Int63())
 		complexity := 50 + rr.Float64()*100
 		for i := 0; i < framesPerBlock; i++ {

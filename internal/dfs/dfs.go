@@ -37,11 +37,106 @@ type Block struct {
 	Items    int64 // number of records, if known up front (0 = unknown)
 	Replicas []string
 	open     func() io.ReadCloser
+	lines    func(carry []byte, fn func(line []byte) error) ([]byte, error)
 }
 
 // Open returns a reader over the block's raw bytes.
 func (b *Block) Open() io.ReadCloser {
 	return b.open()
+}
+
+// CanYieldLines reports whether the block supports the record-yielding
+// fast path (Lines).
+func (b *Block) CanYieldLines() bool { return b.lines != nil }
+
+// Lines is the record-yielding fast path: it drives fn once per line of
+// the block, in order, without materializing the block through an
+// Open reader (no pipe, no goroutine, no scanner copy). The yielded
+// slice has the trailing newline (and any preceding carriage return)
+// stripped, exactly like bufio.ScanLines, and is only valid for the
+// duration of the fn call — consumers that retain a line must copy it.
+//
+// carry, when non-nil, seeds the internal partial-line buffer so an
+// attempt-owned free list can recycle it across blocks; the (possibly
+// grown) buffer is returned for reuse. Blocks without a line backing
+// return ErrNoLineBacking; callers fall back to Open.
+func (b *Block) Lines(carry []byte, fn func(line []byte) error) ([]byte, error) {
+	if b.lines == nil {
+		return carry, ErrNoLineBacking
+	}
+	return b.lines(carry, fn)
+}
+
+// ErrNoLineBacking is returned by Lines for blocks that only support
+// byte-stream reading through Open.
+var ErrNoLineBacking = fmt.Errorf("dfs: block has no line-yielding backing")
+
+// dropCR strips one trailing carriage return, mirroring bufio.ScanLines
+// so both block read paths observe identical record bytes.
+func dropCR(line []byte) []byte {
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		return line[:n-1]
+	}
+	return line
+}
+
+// yieldByteLines walks an in-memory block's data, yielding each line as
+// a subslice of data (zero copies; the final unterminated line, if any,
+// is yielded too).
+func yieldByteLines(data []byte, fn func(line []byte) error) error {
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			return fn(dropCR(data))
+		}
+		if err := fn(dropCR(data[:nl])); err != nil {
+			return err
+		}
+		data = data[nl+1:]
+	}
+	return nil
+}
+
+// lineSplitWriter adapts a generator's byte stream into per-line fn
+// calls: complete lines inside one Write are yielded as views of the
+// incoming chunk; lines spanning chunk boundaries accumulate in the
+// reusable carry buffer. It is the synchronous substitute for the
+// pipe-goroutine-scanner chain of the Open path.
+type lineSplitWriter struct {
+	fn    func(line []byte) error
+	carry []byte
+}
+
+func (w *lineSplitWriter) Write(p []byte) (int, error) {
+	written := len(p)
+	for len(p) > 0 {
+		nl := bytes.IndexByte(p, '\n')
+		if nl < 0 {
+			w.carry = append(w.carry, p...)
+			break
+		}
+		line := p[:nl]
+		if len(w.carry) > 0 {
+			w.carry = append(w.carry, line...)
+			line = w.carry
+		}
+		if err := w.fn(dropCR(line)); err != nil {
+			return 0, err
+		}
+		w.carry = w.carry[:0]
+		p = p[nl+1:]
+	}
+	return written, nil
+}
+
+// finish yields the trailing unterminated line, if any.
+func (w *lineSplitWriter) finish() error {
+	if len(w.carry) == 0 {
+		return nil
+	}
+	err := w.fn(dropCR(w.carry))
+	w.carry = w.carry[:0]
+	return err
 }
 
 // ID returns a human-readable block identifier.
@@ -221,6 +316,9 @@ func NewByteBlock(fileName string, index int, data []byte, items int64) *Block {
 		Size:     int64(len(data)),
 		Items:    items,
 		open:     func() io.ReadCloser { return nopCloser{bytes.NewReader(data)} },
+		lines: func(carry []byte, fn func(line []byte) error) ([]byte, error) {
+			return carry, yieldByteLines(data, fn)
+		},
 	}
 }
 
@@ -230,13 +328,17 @@ type RandSource interface{ Int63() int64 }
 
 // LineGenerator produces the lines of one generated block. It is
 // invoked with a deterministic per-block RNG and must write the same
-// content for the same seed on every call.
-type LineGenerator func(blockIndex int, r RandSource, w *bufio.Writer) error
+// content for the same seed on every call. The writer is buffered by
+// the caller where buffering matters (the io.Reader path); generators
+// should simply write whole lines.
+type LineGenerator func(blockIndex int, r RandSource, w io.Writer) error
 
 // NewGeneratedBlock builds a block whose content is produced on demand
 // by gen, seeded with seed ^ blockIndex so blocks differ but are
 // reproducible. estSize/estItems are metadata hints.
 func NewGeneratedBlock(fileName string, index int, seed int64, estSize, estItems int64, gen LineGenerator) *Block {
+	const mix = int64(-0x61C8864680B583EB) // golden-ratio mixing constant
+	blockSeed := seed ^ (int64(index)+1)*mix
 	return &Block{
 		FileName: fileName,
 		Index:    index,
@@ -246,9 +348,7 @@ func NewGeneratedBlock(fileName string, index int, seed int64, estSize, estItems
 			pr, pw := io.Pipe()
 			go func() {
 				bw := bufio.NewWriterSize(pw, 64<<10)
-				const mix = int64(-0x61C8864680B583EB) // golden-ratio mixing constant
-				r := stats.NewRand(seed ^ (int64(index)+1)*mix)
-				err := gen(index, r, bw)
+				err := gen(index, stats.NewRand(blockSeed), bw)
 				if err == nil {
 					err = bw.Flush()
 				}
@@ -256,6 +356,20 @@ func NewGeneratedBlock(fileName string, index int, seed int64, estSize, estItems
 				pw.CloseWithError(err)
 			}()
 			return pr
+		},
+		// The fast path runs the same generator synchronously into a
+		// line splitter: no pipe, no per-read goroutine, no scanner
+		// copy, no intermediate write buffer (generators emit whole
+		// lines, so the splitter sees them directly), and the yielded
+		// bytes are identical because both sinks see the exact byte
+		// stream gen writes.
+		lines: func(carry []byte, fn func(line []byte) error) ([]byte, error) {
+			sw := lineSplitWriter{fn: fn, carry: carry[:0]}
+			err := gen(index, stats.NewRand(blockSeed), &sw)
+			if err == nil {
+				err = sw.finish()
+			}
+			return sw.carry, err
 		},
 	}
 }

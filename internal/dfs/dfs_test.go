@@ -85,9 +85,9 @@ func TestSplitTextProperty(t *testing.T) {
 }
 
 func TestGeneratedBlockDeterministic(t *testing.T) {
-	gen := func(idx int, r RandSource, w *bufio.Writer) error {
+	gen := func(idx int, r RandSource, w io.Writer) error {
 		for i := 0; i < 10; i++ {
-			if _, err := w.WriteString(strings.Repeat("x", int(r.Int63()%5)+1) + "\n"); err != nil {
+			if _, err := io.WriteString(w, strings.Repeat("x", int(r.Int63()%5)+1)+"\n"); err != nil {
 				return err
 			}
 		}
@@ -106,8 +106,8 @@ func TestGeneratedBlockDeterministic(t *testing.T) {
 }
 
 func TestGeneratedFile(t *testing.T) {
-	f := GeneratedFile("gf", 5, 7, 100, 10, func(idx int, r RandSource, w *bufio.Writer) error {
-		_, err := w.WriteString("hello\n")
+	f := GeneratedFile("gf", 5, 7, 100, 10, func(idx int, r RandSource, w io.Writer) error {
+		_, err := io.WriteString(w, "hello\n")
 		return err
 	})
 	if len(f.Blocks) != 5 {
@@ -215,5 +215,126 @@ func TestReplicaLiveness(t *testing.T) {
 	loose := NewByteBlock("loose", 0, []byte("x"), 1)
 	if loose.Unrunnable(func(string) bool { return false }) {
 		t.Error("replica-less block must always be runnable")
+	}
+}
+
+// scanLines reads a block through Open + bufio.ScanLines, the legacy
+// pull path's exact record tokenization.
+func scanLines(t *testing.T, b *Block) []string {
+	t.Helper()
+	rc := b.Open()
+	defer rc.Close()
+	s := bufio.NewScanner(rc)
+	s.Buffer(make([]byte, 64<<10), 16<<20)
+	var lines []string
+	for s.Scan() {
+		lines = append(lines, s.Text())
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("scan block: %v", err)
+	}
+	return lines
+}
+
+// yieldLines reads a block through the record-yielding fast path,
+// copying each view (the contract: views are only valid inside fn).
+func yieldLines(t *testing.T, b *Block, carry []byte) []string {
+	t.Helper()
+	var lines []string
+	_, err := b.Lines(carry, func(line []byte) error {
+		lines = append(lines, string(line))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("yield block lines: %v", err)
+	}
+	return lines
+}
+
+// TestLinesMatchesScannerByteBlocks proves the zero-copy line yielder
+// tokenizes byte blocks exactly like bufio.ScanLines, including empty
+// lines, carriage returns, and a final unterminated line.
+func TestLinesMatchesScannerByteBlocks(t *testing.T) {
+	cases := []string{
+		"",
+		"\n",
+		"a\nb\nc\n",
+		"a\nb\nc",               // no trailing newline
+		"one\r\ntwo\r\nthree\r", // CRLF endings plus stray trailing CR
+		"\n\nmid\n\n",           // empty lines
+		"solo",
+		strings.Repeat("x", 70000) + "\nshort\n", // longer than one scanner buffer
+	}
+	for i, content := range cases {
+		b := NewByteBlock("t.txt", i, []byte(content), 0)
+		if !b.CanYieldLines() {
+			t.Fatalf("case %d: byte block must support line yielding", i)
+		}
+		want := scanLines(t, b)
+		got := yieldLines(t, b, nil)
+		if len(got) != len(want) {
+			t.Fatalf("case %d: %d yielded lines, scanner saw %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("case %d line %d: yielded %q, scanner %q", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestLinesMatchesScannerGeneratedBlocks proves the synchronous
+// generator fast path observes the identical byte stream as the
+// pipe+scanner Open path, for content that spans write chunks and ends
+// without a newline.
+func TestLinesMatchesScannerGeneratedBlocks(t *testing.T) {
+	gen := func(idx int, r RandSource, w io.Writer) error {
+		for i := 0; i < 500; i++ {
+			// Vary line lengths around the splitter's chunk handling,
+			// with some empty and some CR-bearing lines.
+			n := int(r.Int63() % 200)
+			if _, err := io.WriteString(w, strings.Repeat("g", n)); err != nil {
+				return err
+			}
+			if i%17 == 0 {
+				if _, err := io.WriteString(w, "\r"); err != nil {
+					return err
+				}
+			}
+			if i != 499 { // final line unterminated
+				if _, err := io.WriteString(w, "\n"); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	b := NewGeneratedBlock("gen.txt", 3, 42, 0, 500, gen)
+	if !b.CanYieldLines() {
+		t.Fatal("generated block must support line yielding")
+	}
+	want := scanLines(t, b)
+	// Seed the carry with a recycled dirty buffer: reuse must not leak
+	// stale bytes into yielded lines.
+	carry := []byte("stale-bytes-from-previous-block")
+	got := yieldLines(t, b, carry)
+	if len(got) != len(want) {
+		t.Fatalf("%d yielded lines, scanner saw %d", len(got), len(want))
+	}
+	for j := range got {
+		if got[j] != want[j] {
+			t.Fatalf("line %d: yielded %q, scanner %q", j, got[j], want[j])
+		}
+	}
+}
+
+// TestLinesNoBacking checks the explicit fallback contract.
+func TestLinesNoBacking(t *testing.T) {
+	b := &Block{FileName: "opaque", Index: 0}
+	if b.CanYieldLines() {
+		t.Fatal("blocks without a line backing must report CanYieldLines false")
+	}
+	if _, err := b.Lines(nil, func([]byte) error { return nil }); err != ErrNoLineBacking {
+		t.Fatalf("Lines on opaque block returned %v, want ErrNoLineBacking", err)
 	}
 }

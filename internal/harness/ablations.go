@@ -1,8 +1,8 @@
 package harness
 
 import (
-	"bufio"
 	"fmt"
+	"io"
 
 	"approxhadoop/internal/approx"
 	"approxhadoop/internal/apps"
@@ -22,7 +22,7 @@ type AblationRow struct {
 // block index (time-drifting data, e.g. traffic that grew over the
 // year): the adversarial case for biased task ordering.
 func (r *Runner) driftingLog(blocks, lines int) *dfs.File {
-	gen := func(idx int, rng dfs.RandSource, bw *bufio.Writer) error {
+	gen := func(idx int, rng dfs.RandSource, bw io.Writer) error {
 		for i := 0; i < lines; i++ {
 			v := float64(idx+1) * (0.8 + float64(rng.Int63()%400)/1000)
 			if _, err := fmt.Fprintf(bw, "traffic\t%.3f\n", v); err != nil {

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"math"
 	"strconv"
 	"strings"
 	"testing"
@@ -86,7 +87,7 @@ func BenchmarkMapEmitterHinted(b *testing.B) {
 	const pairs = 4096
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		e := newMapEmitter(8, false, vtime.NewDeterministic(), pairs)
+		e := newMapEmitter(8, false, false, vtime.NewDeterministic(), pairs)
 		benchEmit(e, pairs)
 	}
 }
@@ -98,18 +99,29 @@ func BenchmarkMapEmitterUnhinted(b *testing.B) {
 	const pairs = 4096
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		e := newMapEmitter(8, false, vtime.NewDeterministic(), 0)
+		e := newMapEmitter(8, false, false, vtime.NewDeterministic(), 0)
 		benchEmit(e, pairs)
 	}
 }
 
-// BenchmarkMapEmitterCombined measures the combining emitter with
-// pre-sized maps.
+// BenchmarkMapEmitterCombined measures the combining emitter with its
+// dense id-indexed aggregate slice.
 func BenchmarkMapEmitterCombined(b *testing.B) {
 	const pairs = 4096
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		e := newMapEmitter(8, true, vtime.NewDeterministic(), pairs)
+		e := newMapEmitter(8, true, false, vtime.NewDeterministic(), pairs)
+		benchEmit(e, pairs)
+	}
+}
+
+// BenchmarkMapEmitterLegacy is the pre-interning string-keyed emitter
+// (Job.LegacyDataPlane), kept as the A/B reference for the arena path.
+func BenchmarkMapEmitterLegacy(b *testing.B) {
+	const pairs = 4096
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := newMapEmitter(8, false, true, vtime.NewDeterministic(), pairs)
 		benchEmit(e, pairs)
 	}
 }
@@ -136,10 +148,9 @@ func balancedKeys(t *testing.T, reduces int) []string {
 }
 
 // TestMapEmitterHintedAllocs pins the allocation contract of the
-// preallocated raw-emit path: with a pairsHint that covers every
+// preallocated emit paths: with a pairsHint that covers every
 // partition, the whole emit stream costs exactly the up-front
-// allocations (emitter struct + partition header slice + one backing
-// array), so appends never grow a partition.
+// allocations, so appends never grow a partition mid-attempt.
 func TestMapEmitterHintedAllocs(t *testing.T) {
 	const (
 		reduces = 8
@@ -152,16 +163,24 @@ func TestMapEmitterHintedAllocs(t *testing.T) {
 			e.Emit(keys[i%reduces], 1)
 		}
 	}
-	hinted := testing.AllocsPerRun(20, func() {
-		emitAll(newMapEmitter(reduces, false, meter, pairs))
+	// Legacy path: emitter struct + partition header slice + one backing
+	// array, plus one of slack for runtime accounting noise.
+	legacy := testing.AllocsPerRun(20, func() {
+		emitAll(newMapEmitter(reduces, false, true, meter, pairs))
 	})
-	// One of slack over the three expected allocations for runtime
-	// accounting noise.
-	if hinted > 4 {
-		t.Errorf("hinted emit path allocates %.0f times per attempt, want <= 4 (preallocation regressed)", hinted)
+	if legacy > 4 {
+		t.Errorf("legacy hinted emit path allocates %.0f times per attempt, want <= 4 (preallocation regressed)", legacy)
+	}
+	// Arena path adds the interner's fixed-size state (id map, dense
+	// key/partition slices, one arena chunk) but still nothing per emit.
+	hinted := testing.AllocsPerRun(20, func() {
+		emitAll(newMapEmitter(reduces, false, false, meter, pairs))
+	})
+	if hinted > 12 {
+		t.Errorf("arena hinted emit path allocates %.0f times per attempt, want <= 12 (preallocation regressed)", hinted)
 	}
 	unhinted := testing.AllocsPerRun(20, func() {
-		emitAll(newMapEmitter(reduces, false, meter, 0))
+		emitAll(newMapEmitter(reduces, false, false, meter, 0))
 	})
 	if hinted >= unhinted {
 		t.Errorf("hinted path allocates %.0f times vs %.0f unhinted; hint should eliminate append growth", hinted, unhinted)
@@ -173,6 +192,96 @@ func BenchmarkPartition(b *testing.B) {
 	keys := []string{"alpha", "beta", "gamma", "delta", "a-much-longer-key-for-hashing"}
 	for i := 0; i < b.N; i++ {
 		_ = Partition(keys[i%len(keys)], 16)
+	}
+}
+
+// shuffleKeys builds a distinct-key universe of the given size for the
+// shuffle benchmarks ("word-0" ... "word-N").
+func shuffleKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = "word-" + strconv.Itoa(i)
+	}
+	return keys
+}
+
+// shuffleRound runs one map attempt's worth of shuffle end to end in
+// the chosen representation: emit a fixed pair stream, materialize the
+// per-partition MapOutputs exactly like executeMap, and drain every
+// partition through EachPair the way a reducer does. Returns the value
+// sum as a cheap output check.
+func shuffleRound(legacy bool, keys []string, reduces, pairs int) float64 {
+	e := newMapEmitter(reduces, false, legacy, vtime.NewDeterministic(), pairs)
+	for i := 0; i < pairs; i++ {
+		e.Emit(keys[i%len(keys)], float64(i))
+	}
+	outs := make([]MapOutput, reduces)
+	var sum float64
+	add := func(_ string, v float64) { sum += v }
+	for p := 0; p < reduces; p++ {
+		out := &outs[p]
+		if legacy {
+			out.Pairs = e.raw[p]
+		} else {
+			out.keys = e.intern
+			out.run = e.runs[p]
+		}
+		out.EachPair(add)
+	}
+	return sum
+}
+
+// BenchmarkShuffleArena measures the arena shuffle: interned (keyID,
+// value) runs in flat per-partition slices, strings resolved only at
+// EachPair time.
+func BenchmarkShuffleArena(b *testing.B) {
+	keys := shuffleKeys(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		shuffleRound(false, keys, 4, 8192)
+	}
+}
+
+// BenchmarkShuffleLegacy measures the old string-keyed shuffle for the
+// same pair stream.
+func BenchmarkShuffleLegacy(b *testing.B) {
+	keys := shuffleKeys(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		shuffleRound(true, keys, 4, 8192)
+	}
+}
+
+// arenaShuffleAllocBaseline is the recorded allocs-per-attempt of
+// BenchmarkShuffleArena's workload (64 distinct keys, 4 partitions,
+// 8192 pairs, no hint). Re-record it deliberately when the shuffle
+// layout changes; TestShuffleArenaAllocGuard fails CI when the live
+// number drifts more than 15% above it.
+const arenaShuffleAllocBaseline = 40
+
+// TestShuffleArenaAllocGuard is the allocation regression guard for the
+// arena shuffle, run by the CI bench job.
+func TestShuffleArenaAllocGuard(t *testing.T) {
+	keys := shuffleKeys(64)
+	allocs := testing.AllocsPerRun(10, func() {
+		shuffleRound(false, keys, 4, 8192)
+	})
+	if allocs > arenaShuffleAllocBaseline*1.15 {
+		t.Errorf("arena shuffle allocates %.0f times per attempt, more than 1.15x the recorded baseline %d",
+			allocs, arenaShuffleAllocBaseline)
+	}
+}
+
+// TestShuffleEquivalence cross-checks the two shuffle representations
+// on the same pair stream: identical pair counts and value sums.
+func TestShuffleEquivalence(t *testing.T) {
+	keys := shuffleKeys(64)
+	arena := shuffleRound(false, keys, 4, 8192)
+	legacy := shuffleRound(true, keys, 4, 8192)
+	// Bit-level comparison: both paths must perform the identical float
+	// additions in the identical order.
+	if math.Float64bits(arena) != math.Float64bits(legacy) {
+		t.Errorf("arena shuffle drained sum %v, legacy %v", arena, legacy)
 	}
 }
 

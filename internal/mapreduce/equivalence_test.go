@@ -1,0 +1,96 @@
+package mapreduce
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"approxhadoop/internal/dfs"
+)
+
+// equivScenarios builds job configurations that exercise every data
+// plane surface the zero-allocation path replaced: raw and combined
+// emitters, byte-backed and generator-backed blocks, multiple reduce
+// partitions, and mid-stream state (speculation, drops) via the pool
+// scenarios' controller.
+func equivScenarios(t *testing.T) []poolScenario {
+	t.Helper()
+	scenarios := poolScenarios(t)
+	scenarios = append(scenarios,
+		poolScenario{"combine", func(t *testing.T) *Job {
+			input, _ := wordCountInput(t, 96)
+			return &Job{
+				Name:      "equiv-combine",
+				Input:     input,
+				NewMapper: wordCountMapper,
+				NewReduce: func(int) ReduceLogic { return SumReduce() },
+				Reduces:   3,
+				Combine:   true,
+				Seed:      31,
+			}
+		}},
+		poolScenario{"generated-blocks", func(t *testing.T) *Job {
+			gen := func(idx int, r dfs.RandSource, w io.Writer) error {
+				for i := 0; i < 120; i++ {
+					if _, err := fmt.Fprintf(w, "k%d %d\n", r.Int63()%7, r.Int63()%5); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return &Job{
+				Name:      "equiv-generated",
+				Input:     dfs.GeneratedFile("gen.txt", 8, 5, 0, 120, gen),
+				NewMapper: wordCountMapper,
+				NewReduce: func(int) ReduceLogic { return SumReduce() },
+				Reduces:   2,
+				Seed:      13,
+			}
+		}},
+	)
+	return scenarios
+}
+
+// runEquiv executes one scenario with the chosen data plane, capturing
+// the full Result and trace event sequence.
+func runEquiv(t *testing.T, sc poolScenario, legacy bool) (*Result, []Event) {
+	t.Helper()
+	job := sc.build(t)
+	job.LegacyDataPlane = legacy
+	var events []Event
+	job.Trace = func(e Event) { events = append(events, e) }
+	res, err := Run(testEngine(), job)
+	if err != nil {
+		t.Fatalf("%s legacy=%v: %v", sc.name, legacy, err)
+	}
+	return res, events
+}
+
+// TestLegacyDataPlaneEquivalence is the zero-allocation data plane's
+// gate: for a fixed (job, seed), the interned-key push path must
+// produce a byte-identical Result — estimates, counters, energy — and
+// the identical trace event sequence as the legacy pull path with
+// string-keyed shuffle, across precise, combined, generated-input,
+// speculative and fault scenarios. Same comparison discipline as
+// TestPoolSizeInvisible: %+v is bijective on float64.
+func TestLegacyDataPlaneEquivalence(t *testing.T) {
+	for _, sc := range equivScenarios(t) {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			legacyRes, legacyEvents := runEquiv(t, sc, true)
+			arenaRes, arenaEvents := runEquiv(t, sc, false)
+			want := fmt.Sprintf("%+v", *legacyRes)
+			if got := fmt.Sprintf("%+v", *arenaRes); got != want {
+				t.Errorf("arena data plane Result differs from legacy:\n got %s\nwant %s", got, want)
+			}
+			if len(arenaEvents) != len(legacyEvents) {
+				t.Fatalf("arena path emitted %d trace events, legacy %d", len(arenaEvents), len(legacyEvents))
+			}
+			for i := range arenaEvents {
+				if arenaEvents[i] != legacyEvents[i] {
+					t.Errorf("event %d = %v, legacy %v", i, arenaEvents[i], legacyEvents[i])
+				}
+			}
+		})
+	}
+}

@@ -26,47 +26,98 @@ type mapResult struct {
 }
 
 // mapEmitter partitions emitted pairs, optionally combining.
+//
+// Two representations exist. The default arena representation interns
+// every emitted key once into the attempt's keyTable — which also
+// memoizes the key's partition, so the FNV hash runs once per distinct
+// key instead of once per emit — and then moves only (keyID, value)
+// pairs: raw mode appends idPairs to flat per-partition runs; combine
+// mode accumulates into one dense RunningStat slice indexed by key ID.
+// The legacy representation (Job.LegacyDataPlane) keeps the original
+// string-keyed slices/maps so equivalence tests can diff the two paths.
 type mapEmitter struct {
 	reduces int
 	combine bool
-	raw     [][]KV
-	comb    []map[string]stats.RunningStat
-	pairs   int64
 	meter   vtime.Meter
+	pairs   int64
+
+	// arena representation (default)
+	intern    *keyTable
+	runs      [][]idPair          // raw: per-partition (keyID, value) runs
+	combIDs   [][]int32           // combine: per-partition key IDs in first-emit order
+	combStats []stats.RunningStat // combine: dense aggregates indexed by key ID
+
+	// legacy representation (Job.LegacyDataPlane)
+	raw  [][]KV
+	comb []map[string]stats.RunningStat
 }
 
 // newMapEmitter builds the per-attempt emitter. pairsHint, when > 0,
-// is the expected total pair count for the attempt: raw partition
-// slices are carved zero-length from one preallocated backing array
-// (disjoint capacities, so in-capacity appends never interfere) and
-// combiner maps are pre-sized, which keeps append-growth reallocations
-// off the map hot path.
-func newMapEmitter(reduces int, combine bool, meter vtime.Meter, pairsHint int) *mapEmitter {
+// is the expected total pair count for the attempt: partition runs are
+// carved zero-length from one preallocated backing array (disjoint
+// capacities, so in-capacity appends never interfere), the interner's
+// id map is pre-sized, and combiner state is pre-sized, which keeps
+// growth reallocations off the emit hot path.
+func newMapEmitter(reduces int, combine, legacy bool, meter vtime.Meter, pairsHint int) *mapEmitter {
 	e := &mapEmitter{reduces: reduces, combine: combine, meter: meter}
 	perPart := 0
 	if pairsHint > 0 {
 		perPart = pairsHint/reduces + 1
 	}
+	if legacy {
+		if combine {
+			e.comb = make([]map[string]stats.RunningStat, reduces)
+			for i := range e.comb {
+				e.comb[i] = make(map[string]stats.RunningStat, perPart)
+			}
+		} else {
+			e.raw = make([][]KV, reduces)
+			if perPart > 0 {
+				backing := make([]KV, reduces*perPart)
+				for i := range e.raw {
+					e.raw[i] = backing[i*perPart : i*perPart : (i+1)*perPart]
+				}
+			}
+		}
+		return e
+	}
+	e.intern = newKeyTable(reduces, pairsHint)
 	if combine {
-		e.comb = make([]map[string]stats.RunningStat, reduces)
-		for i := range e.comb {
-			e.comb[i] = make(map[string]stats.RunningStat, perPart)
+		e.combIDs = make([][]int32, reduces)
+		if pairsHint > 0 {
+			e.combStats = make([]stats.RunningStat, 0, pairsHint)
 		}
 	} else {
-		e.raw = make([][]KV, reduces)
+		e.runs = make([][]idPair, reduces)
 		if perPart > 0 {
-			backing := make([]KV, reduces*perPart)
-			for i := range e.raw {
-				e.raw[i] = backing[i*perPart : i*perPart : (i+1)*perPart]
+			backing := make([]idPair, reduces*perPart)
+			for i := range e.runs {
+				e.runs[i] = backing[i*perPart : i*perPart : (i+1)*perPart]
 			}
 		}
 	}
 	return e
 }
 
-// Emit implements Emitter.
+// Emit implements Emitter. key may be a transient view of a reusable
+// buffer (the push-mode record contract): the interner copies it on
+// first sight, and the legacy path only runs with pull-mode readers
+// whose records are durable.
 func (e *mapEmitter) Emit(key string, value float64) {
 	e.pairs++
+	if e.intern != nil {
+		id, p := e.intern.Intern(key)
+		if e.combine {
+			if int(id) == len(e.combStats) {
+				e.combStats = append(e.combStats, stats.RunningStat{})
+				e.combIDs[p] = append(e.combIDs[p], id)
+			}
+			e.combStats[id].Add(value)
+			return
+		}
+		e.runs[p] = append(e.runs[p], idPair{id: id, v: value})
+		return
+	}
 	p := Partition(key, e.reduces)
 	if e.combine {
 		rs := e.comb[p][key]
@@ -89,12 +140,25 @@ func (e *mapEmitter) ChargeCompute(units float64) { e.meter.Charge(units) }
 // setup, read and process components so cost models and the
 // target-error controller can fit Equation 5.
 //
+// By default records flow through the zero-allocation data plane: if
+// the reader supports push mode (RecordPusher), records are yielded as
+// views of reusable buffers straight from the block backing, and the
+// emitter interns keys into the attempt's arena. The push loop brackets
+// each record with the exact same meter Begin/End sequence as the pull
+// loop, and the emitter performs the same float operations in the same
+// order, so a (job, seed) pair produces bit-identical results on either
+// path (Job.LegacyDataPlane forces the old one; the equivalence tests
+// diff them).
+//
 // executeMap is the compute plane: a pure function of
 // (job config, block, ratio, seed) that may run on a pool worker
 // concurrently with the virtual-time scheduler. It must never touch
 // tracker or engine state, the shared Job.Meter, or package-level
 // variables — the approxlint `sharedstate` analyzer enforces this for
-// everything reachable from the directive below.
+// everything reachable from the directive below. Per-attempt buffer
+// reuse goes through an attempt-owned BufList, never a sync.Pool,
+// which the analyzer also rejects here: pool hand-out order depends on
+// goroutine scheduling.
 //
 //approx:compute
 func executeMap(job *Job, block *dfs.Block, taskID int, ratio float64, seed int64, meter vtime.Meter, pairsHint int) (*mapResult, error) {
@@ -108,27 +172,48 @@ func executeMap(job *Job, block *dfs.Block, taskID int, ratio float64, seed int6
 	if ms, ok := reader.(MeterSetter); ok {
 		ms.SetMeter(meter)
 	}
+	var bufs *BufList
+	if !job.LegacyDataPlane {
+		if bl, ok := reader.(BufferLender); ok {
+			bufs = &BufList{}
+			bl.SetBuffers(bufs)
+		}
+	}
 	var mapper Mapper
 	if job.NewMapperFor != nil {
 		mapper = job.NewMapperFor(taskID)
 	} else {
 		mapper = job.NewMapper()
 	}
-	emitter := newMapEmitter(job.Reduces, job.Combine, meter, pairsHint)
+	emitter := newMapEmitter(job.Reduces, job.Combine, job.LegacyDataPlane, meter, pairsHint)
 	setup := meter.End(vtime.OpSetup, 1, 0)
 
 	var procSecs float64
-	for {
-		rec, ok, err := reader.Next()
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			break
-		}
+	mapOne := func(rec Record) {
 		meter.Begin(vtime.OpProc)
 		mapper.Map(rec, emitter)
 		procSecs += meter.End(vtime.OpProc, 1, 0)
+	}
+	pushed := false
+	if !job.LegacyDataPlane {
+		if p, ok := reader.(RecordPusher); ok {
+			pushed, err = p.Push(mapOne)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !pushed {
+		for {
+			rec, ok, err := reader.Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			mapOne(rec)
+		}
 	}
 	rm := reader.Measure()
 	res := &mapResult{
@@ -149,7 +234,19 @@ func executeMap(job *Job, block *dfs.Block, taskID int, ratio float64, seed int6
 		out.TaskID = taskID
 		out.Items = rm.Items
 		out.Sampled = rm.Sampled
-		if job.Combine {
+		if emitter.intern != nil {
+			out.keys = emitter.intern
+			if job.Combine {
+				ids := emitter.combIDs[p]
+				if ids == nil {
+					ids = []int32{} // non-nil marks the output combined
+				}
+				out.combIDs = ids
+				out.combStats = emitter.combStats
+			} else {
+				out.run = emitter.runs[p]
+			}
+		} else if job.Combine {
 			out.Combined = emitter.comb[p]
 		} else {
 			out.Pairs = emitter.raw[p]

@@ -30,14 +30,17 @@ func (r *PreciseReduce) Consume(out *MapOutput) {
 	if out.Sampled < out.Items {
 		r.approx = true
 	}
-	for _, kv := range out.Pairs {
-		r.values[kv.Key] = append(r.values[kv.Key], kv.Value)
+	if out.IsCombined() {
+		out.EachCombined(func(key string, rs stats.RunningStat) {
+			// Combined outputs lose individual values; surface the sum,
+			// which is correct for combiner-safe (associative) functions.
+			r.values[key] = append(r.values[key], rs.Sum)
+		})
+		return
 	}
-	for key, rs := range out.Combined {
-		// Combined outputs lose individual values; surface the sum,
-		// which is correct for combiner-safe (associative) functions.
-		r.values[key] = append(r.values[key], rs.Sum)
-	}
+	out.EachPair(func(key string, value float64) {
+		r.values[key] = append(r.values[key], value)
+	})
 }
 
 // Estimates implements ReduceLogic; precise reduces cannot estimate

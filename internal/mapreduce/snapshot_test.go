@@ -11,9 +11,7 @@ import (
 type snapshotLogic struct{ sum float64 }
 
 func (s *snapshotLogic) Consume(out *MapOutput) {
-	for _, kv := range out.Pairs {
-		s.sum += kv.Value
-	}
+	out.EachPair(func(_ string, v float64) { s.sum += v })
 }
 
 func (s *snapshotLogic) Estimates(EstimateView) []KeyEstimate {

@@ -8,6 +8,7 @@ import (
 
 	"approxhadoop/internal/dfs"
 	"approxhadoop/internal/vtime"
+	"approxhadoop/internal/zerocopy"
 )
 
 // TextInputFormat parses a block into one record per line, like
@@ -16,16 +17,18 @@ import (
 // counterpart lives in the approx package (ApproxTextInput).
 type TextInputFormat struct{}
 
-// Open implements InputFormat.
+// Open implements InputFormat. The reader supports both modes: pull
+// (Next, durable records, used by Job.LegacyDataPlane and external
+// callers) and push (Push, zero-copy records over the block's line
+// backing — no pipe goroutine, no scanner copy, no per-record string
+// allocations).
 func (TextInputFormat) Open(b *dfs.Block, _ float64, _ int64) (RecordReader, error) {
 	if b == nil {
 		return nil, fmt.Errorf("mapreduce: nil block")
 	}
-	rc := b.Open()
 	return &textReader{
+		block:     b,
 		keyPrefix: b.ID() + ":",
-		rc:        rc,
-		scan:      newLineScanner(rc),
 		meter:     vtime.NewDeterministic(),
 	}, nil
 }
@@ -38,18 +41,49 @@ func newLineScanner(r io.Reader) *bufio.Scanner {
 }
 
 type textReader struct {
+	block     *dfs.Block
 	keyPrefix string
-	rc        io.ReadCloser
+	rc        io.ReadCloser // pull mode only, opened lazily
 	scan      *bufio.Scanner
 	meter     vtime.Meter
 	m         ReaderMeasure
-	keyBuf    []byte
+	bufs      *BufList
+	// keyBuf holds the record key: the "blockID:" prefix stays resident
+	// at the front and only the offset digits are rewritten per record,
+	// so key formatting allocates nothing (pull mode pays one string
+	// copy per record to make the returned key durable; push mode hands
+	// out a zero-copy view).
+	keyBuf []byte
 }
 
 // SetMeter implements MeterSetter.
 func (t *textReader) SetMeter(m vtime.Meter) { t.meter = m }
 
+// SetBuffers implements BufferLender: working buffers (key scratch,
+// line carry) are borrowed from the attempt's free list.
+func (t *textReader) SetBuffers(l *BufList) { t.bufs = l }
+
+// key formats the record key for the given record index into keyBuf and
+// returns a view of it, valid until the next call.
+func (t *textReader) key(idx int64) []byte {
+	if t.keyBuf == nil {
+		min := len(t.keyPrefix) + 20 // prefix + widest int64 digits
+		if t.bufs != nil {
+			t.keyBuf = t.bufs.Get(min)
+		} else {
+			t.keyBuf = make([]byte, 0, min)
+		}
+		t.keyBuf = append(t.keyBuf, t.keyPrefix...)
+	}
+	t.keyBuf = strconv.AppendInt(t.keyBuf[:len(t.keyPrefix)], idx, 10)
+	return t.keyBuf
+}
+
 func (t *textReader) Next() (Record, bool, error) {
+	if t.scan == nil {
+		t.rc = t.block.Open()
+		t.scan = newLineScanner(t.rc)
+	}
 	t.meter.Begin(vtime.OpRead)
 	if !t.scan.Scan() {
 		t.m.ReadSecs += t.meter.End(vtime.OpRead, 0, 0)
@@ -62,12 +96,54 @@ func (t *textReader) Next() (Record, bool, error) {
 	t.m.Items++
 	t.m.Sampled++
 	t.m.Bytes += int64(len(line)) + 1
-	t.keyBuf = append(t.keyBuf[:0], t.keyPrefix...)
-	t.keyBuf = strconv.AppendInt(t.keyBuf, t.m.Items-1, 10)
+	key := t.key(t.m.Items - 1)
 	t.m.ReadSecs += t.meter.End(vtime.OpRead, 1, int64(len(line))+1)
-	return Record{Key: string(t.keyBuf), Value: line}, true, nil
+	return Record{Key: string(key), Value: line}, true, nil
+}
+
+// Push implements RecordPusher over the block's line backing. The meter
+// Begin/End sequence per record — End(OpRead, 1, len+1) per line, a
+// final End(OpRead, 0, 0) at EOF — replicates the Next loop exactly, so
+// virtual timings are bit-identical across modes. Record Key/Value are
+// views of reusable buffers, valid only inside fn.
+func (t *textReader) Push(fn func(rec Record)) (bool, error) {
+	if !t.block.CanYieldLines() {
+		return false, nil
+	}
+	var carry []byte
+	if t.bufs != nil {
+		carry = t.bufs.Get(256)
+	}
+	carry, err := t.block.Lines(carry, func(line []byte) error {
+		t.meter.Begin(vtime.OpRead)
+		t.m.Items++
+		t.m.Sampled++
+		t.m.Bytes += int64(len(line)) + 1
+		key := t.key(t.m.Items - 1)
+		t.m.ReadSecs += t.meter.End(vtime.OpRead, 1, int64(len(line))+1)
+		fn(Record{Key: zerocopy.String(key), Value: zerocopy.String(line)})
+		return nil
+	})
+	if t.bufs != nil {
+		t.bufs.Put(carry)
+	}
+	if err != nil {
+		return true, fmt.Errorf("mapreduce: reading %s: %w", t.keyPrefix, err)
+	}
+	t.meter.Begin(vtime.OpRead)
+	t.m.ReadSecs += t.meter.End(vtime.OpRead, 0, 0)
+	return true, nil
 }
 
 func (t *textReader) Measure() ReaderMeasure { return t.m }
 
-func (t *textReader) Close() error { return t.rc.Close() }
+func (t *textReader) Close() error {
+	if t.bufs != nil && t.keyBuf != nil {
+		t.bufs.Put(t.keyBuf)
+		t.keyBuf = nil
+	}
+	if t.rc != nil {
+		return t.rc.Close()
+	}
+	return nil
+}

@@ -814,7 +814,7 @@ func (t *tracker) deliver(r *reduceTask, out *MapOutput) {
 func (t *tracker) consume(r *reduceTask, out *MapOutput) {
 	t.job.Meter.Begin(vtime.OpReduce)
 	r.logic.Consume(out)
-	n := int64(len(out.Pairs)) + int64(len(out.Combined))
+	n := int64(out.PairLen())
 	secs := t.job.Meter.End(vtime.OpReduce, n, 0)
 	t.realSecs += secs
 	r.pairs += n

@@ -30,6 +30,15 @@ type KV struct {
 
 // Record is one input record handed to a map function: for text inputs
 // Key identifies the record position and Value is the line.
+//
+// Lifetime: when the framework drives a mapper through the push-mode
+// fast path (see RecordPusher), Key and Value are views over reusable
+// attempt-owned buffers — valid only for the duration of the Map call,
+// exactly Hadoop's Writable-reuse contract. Mappers that retain a
+// record past Map must copy it; emitting (sub)strings of it is always
+// safe because the emitter interns every key on first sight. Records
+// obtained by calling RecordReader.Next directly are plain copies with
+// no lifetime restriction.
 type Record struct {
 	Key   string
 	Value string
@@ -88,20 +97,108 @@ type InputFormat interface {
 	Open(b *dfs.Block, sampleRatio float64, seed int64) (RecordReader, error)
 }
 
+// RecordPusher is the push-mode fast path a RecordReader may offer on
+// top of Next: the reader drives the whole block through fn itself,
+// yielding zero-copy records (see the Record lifetime contract) and
+// metering reads through exactly the same Begin/End sequence the
+// equivalent Next loop would issue — so with a deterministic meter the
+// two paths charge identical seconds. Push returns ok=false without
+// consuming anything when the underlying block has no line-yielding
+// backing; the caller then falls back to the Next loop.
+type RecordPusher interface {
+	Push(fn func(rec Record)) (ok bool, err error)
+}
+
 // MapOutput is what one completed map task delivers to one reduce
 // partition: the task/cluster identity, the block unit counts needed by
 // multi-stage sampling (Section 4.4 — "each map task tags each
 // key/value pair with its unique task ID" and forwards M_i and m_i),
 // and the pairs themselves, either raw or combiner-aggregated.
+//
+// Two payload representations exist. The legacy fields Pairs/Combined
+// carry string-keyed data and remain the construction API for tests and
+// external callers. The framework's default arena representation keys
+// pairs by interned IDs into flat per-partition runs sharing one
+// attempt-wide key table, deferring string resolution to reduce time;
+// reducers consume either representation uniformly through EachPair /
+// EachCombined / PairLen.
 type MapOutput struct {
 	TaskID  int   // map task index; the sampling "cluster" identifier
 	Items   int64 // M_i: data items in the task's block
 	Sampled int64 // m_i: items actually processed
-	// Exactly one of Pairs/Combined is populated, depending on
-	// Job.Combine. Combined carries per-key (count, sum, sumsq), which
-	// is lossless for aggregation reducers.
+	// At most one of Pairs/Combined is populated (legacy string-keyed
+	// payload), depending on Job.Combine. Combined carries per-key
+	// (count, sum, sumsq), which is lossless for aggregation reducers.
 	Pairs    []KV
 	Combined map[string]stats.RunningStat
+
+	// Arena payload (framework default): keys is the attempt's interner,
+	// shared by all partitions of the attempt; run is this partition's
+	// raw (keyID, value) pairs in emit order; combIDs lists this
+	// partition's distinct key IDs in first-emit order, whose aggregates
+	// live in the attempt-wide dense combStats slice indexed by key ID.
+	keys      *keyTable
+	run       []idPair
+	combIDs   []int32
+	combStats []stats.RunningStat
+}
+
+// idPair is one arena-shuffled intermediate pair: an interned key ID
+// and its value. 16 bytes versus the 24 of a string-keyed KV, and no
+// per-pair string header to trace during GC.
+type idPair struct {
+	id int32
+	v  float64
+}
+
+// IsCombined reports whether the output carries combiner-aggregated
+// per-key statistics rather than raw pairs.
+func (o *MapOutput) IsCombined() bool {
+	return o.Combined != nil || o.combIDs != nil
+}
+
+// PairLen returns the number of payload entries: raw pairs, or distinct
+// keys for combined outputs. It is the unit count reduce-side cost
+// accounting charges, identical across representations.
+func (o *MapOutput) PairLen() int {
+	if o.keys != nil {
+		if o.combIDs != nil {
+			return len(o.combIDs)
+		}
+		return len(o.run)
+	}
+	return len(o.Pairs) + len(o.Combined)
+}
+
+// EachPair calls fn for every raw pair in shuffle (emit) order. Keys
+// handed to fn are durable — interned arena strings or the original KV
+// keys — so reducers may retain them without copying.
+func (o *MapOutput) EachPair(fn func(key string, value float64)) {
+	if o.keys != nil {
+		for _, p := range o.run {
+			fn(o.keys.Resolve(p.id), p.v)
+		}
+		return
+	}
+	for _, kv := range o.Pairs {
+		fn(kv.Key, kv.Value)
+	}
+}
+
+// EachCombined calls fn for every per-key aggregate of a combined
+// output. Arena outputs iterate in first-emit order (deterministic);
+// legacy map outputs iterate in Go map order, which reducers must not
+// depend on (per-key aggregation is order-free). Keys are durable.
+func (o *MapOutput) EachCombined(fn func(key string, rs stats.RunningStat)) {
+	if o.keys != nil {
+		for _, id := range o.combIDs {
+			fn(o.keys.Resolve(id), o.combStats[id])
+		}
+		return
+	}
+	for k, rs := range o.Combined {
+		fn(k, rs)
+	}
 }
 
 // KeyEstimate is one final (or in-flight) output: a key and its

@@ -15,8 +15,8 @@
 package workload
 
 import (
-	"bufio"
 	"fmt"
+	"io"
 	"strconv"
 	"strings"
 
@@ -26,6 +26,23 @@ import (
 
 // intSource is the minimal RNG surface dfs generators receive.
 type intSource = dfs.RandSource
+
+// lineBuf is a reusable line-formatting buffer for generators. Blocks
+// regenerate on every map read, so per-line fmt formatting (which boxes
+// every operand) used to dominate the simulator's allocation profile;
+// generators instead strconv.Append* into one buffer per block and
+// flush it line by line, producing byte-identical output.
+type lineBuf []byte
+
+func (b *lineBuf) reset()        { *b = (*b)[:0] }
+func (b *lineBuf) str(s string)  { *b = append(*b, s...) }
+func (b *lineBuf) byte(c byte)   { *b = append(*b, c) }
+func (b *lineBuf) int(v int64)   { *b = strconv.AppendInt(*b, v, 10) }
+func (b *lineBuf) uint(v uint64) { *b = strconv.AppendUint(*b, v, 10) }
+func (b *lineBuf) flush(w io.Writer) error {
+	_, err := w.Write(*b)
+	return err
+}
 
 // ---------------------------------------------------------------------------
 // Wikipedia article dump
@@ -61,13 +78,14 @@ func (w WikiDump) File(name string) *dfs.File {
 	if w.MeanLinks <= 0 {
 		w.MeanLinks = 5
 	}
-	gen := func(idx int, r intSource, bw *bufio.Writer) error {
+	gen := func(idx int, r intSource, bw io.Writer) error {
 		rr := stats.NewRand(r.Int63())
 		zipf := stats.NewZipf(rr, 1.3, uint64(w.LinkUniverse))
 		// Intra-block locality: articles in the same block share a
 		// size regime (they were dumped together), like the paper's
 		// observation that "data within blocks usually has locality".
 		blockBias := 0.6 + rr.Float64()
+		var lb lineBuf
 		for i := 0; i < w.ArticlesPerBlock; i++ {
 			id := idx*w.ArticlesPerBlock + i
 			size := int(stats.Pareto(rr, 300*blockBias, 1.3))
@@ -78,16 +96,21 @@ func (w WikiDump) File(name string) *dfs.File {
 			if nLinks > 60 {
 				nLinks = 60
 			}
-			var sb strings.Builder
-			fmt.Fprintf(&sb, "A%d\t%d\t", id, size)
+			lb.reset()
+			lb.byte('A')
+			lb.int(int64(id))
+			lb.byte('\t')
+			lb.int(int64(size))
+			lb.byte('\t')
 			for l := 0; l < nLinks; l++ {
 				if l > 0 {
-					sb.WriteByte(' ')
+					lb.byte(' ')
 				}
-				fmt.Fprintf(&sb, "A%d", zipf.Next())
+				lb.byte('A')
+				lb.uint(zipf.Next())
 			}
-			sb.WriteByte('\n')
-			if _, err := bw.WriteString(sb.String()); err != nil {
+			lb.byte('\n')
+			if err := lb.flush(bw); err != nil {
 				return err
 			}
 		}
@@ -182,13 +205,14 @@ func (a AccessLog) File(name string) *dfs.File {
 	if a.Pages <= 0 {
 		a.Pages = 100
 	}
-	gen := func(idx int, r intSource, bw *bufio.Writer) error {
+	gen := func(idx int, r intSource, bw io.Writer) error {
 		rr := stats.NewRand(r.Int63())
 		projZipf := stats.NewZipf(rr, 1.4, uint64(a.Projects))
 		pageZipf := stats.NewZipf(rr, 1.2, uint64(a.Pages))
 		// Blocks are time-contiguous: entries in block idx carry
 		// timestamps from that slice of the period (locality again).
 		base := int64(idx) * 3600
+		var lb lineBuf
 		for i := 0; i < a.LinesPerBlock; i++ {
 			ts := base + rr.Int63()%3600
 			proj := projZipf.Next()
@@ -197,7 +221,16 @@ func (a AccessLog) File(name string) *dfs.File {
 			if bytes > 5_000_000 {
 				bytes = 5_000_000
 			}
-			if _, err := fmt.Fprintf(bw, "%d\tproj%d\tpage%d\t%d\n", ts, proj, page, bytes); err != nil {
+			lb.reset()
+			lb.int(ts)
+			lb.str("\tproj")
+			lb.uint(proj)
+			lb.str("\tpage")
+			lb.uint(page)
+			lb.byte('\t')
+			lb.int(int64(bytes))
+			lb.byte('\n')
+			if err := lb.flush(bw); err != nil {
 				return err
 			}
 		}
@@ -299,10 +332,11 @@ func (w WebLog) File(name string) *dfs.File {
 		total += hourWeight(h)
 		cum[h] = total
 	}
-	gen := func(idx int, r intSource, bw *bufio.Writer) error {
+	gen := func(idx int, r intSource, bw io.Writer) error {
 		rr := stats.NewRand(r.Int63())
 		clientZipf := stats.NewZipf(rr, 1.1, uint64(w.Clients))
 		pathZipf := stats.NewZipf(rr, 1.3, 2000)
+		var lb lineBuf
 		for i := 0; i < w.LinesPerBlock; i++ {
 			// Draw the hour of week from the weekly shape.
 			u := rr.Float64() * total
@@ -321,8 +355,21 @@ func (w WebLog) File(name string) *dfs.File {
 			if client <= w.Attackers && rr.Float64() < w.AttackRate {
 				attack = attackPatterns[int(rr.Int63())%len(attackPatterns)]
 			}
-			if _, err := fmt.Fprintf(bw, "c%d\t%d\t/p%d\t%d\t%s\t%s\n",
-				client, hour, path, bytes, agent, attack); err != nil {
+			lb.reset()
+			lb.byte('c')
+			lb.int(int64(client))
+			lb.byte('\t')
+			lb.int(int64(hour))
+			lb.str("\t/p")
+			lb.uint(path)
+			lb.byte('\t')
+			lb.int(int64(bytes))
+			lb.byte('\t')
+			lb.str(agent)
+			lb.byte('\t')
+			lb.str(attack)
+			lb.byte('\n')
+			if err := lb.flush(bw); err != nil {
 				return err
 			}
 		}
@@ -377,7 +424,7 @@ func SearchSeeds(name string, maps int, seed int64) *dfs.File {
 	if maps <= 0 {
 		maps = 1
 	}
-	gen := func(idx int, r intSource, bw *bufio.Writer) error {
+	gen := func(idx int, r intSource, bw io.Writer) error {
 		_, err := fmt.Fprintf(bw, "seed\t%d\n", r.Int63())
 		return err
 	}

@@ -1,0 +1,21 @@
+// Package zerocopy holds the one unsafe conversion the data plane is
+// allowed: viewing a byte slice as a string without copying. The
+// framework uses it for records and interned keys whose lifetime rules
+// are documented at the call sites (Hadoop-style object reuse: a view
+// over a reusable buffer is only valid until the buffer's owner next
+// writes it). Code outside the record hot path should use ordinary
+// string conversions.
+package zerocopy
+
+import "unsafe"
+
+// String returns a string view sharing b's backing array. The caller
+// must guarantee b is not mutated while the string is reachable, or
+// must bound the string's lifetime to the window before the next
+// mutation (the record-reader contract).
+func String(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}

@@ -1,6 +1,8 @@
 // Command approxlint runs the repository's static-analysis suite (see
 // internal/analysis): repo-specific checks that keep the simulator
-// deterministic and the statistics trustworthy.
+// deterministic and the statistics trustworthy, including the
+// whole-program purity, hotpath, and lockheld analyzers built on the
+// cross-package call graph.
 //
 // Usage:
 //
@@ -10,6 +12,7 @@
 //	approxlint -disable nopanic ./...    # all but one
 //	approxlint -enable virtualclock ./.. # exactly one
 //	approxlint -json ./...               # machine-readable findings
+//	approxlint -stale-ignores ./...      # also flag dead suppressions
 //
 // Findings are suppressed in source with
 // `//lint:ignore <analyzer> reason` on the offending line or the line
@@ -21,7 +24,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"approxhadoop/internal/analysis"
 )
@@ -37,6 +39,8 @@ func run() int {
 		enable  = flag.String("enable", "", "comma-separated analyzers to run (default: all)")
 		disable = flag.String("disable", "", "comma-separated analyzers to skip")
 		noTests = flag.Bool("notests", false, "skip _test.go files")
+		stale   = flag.Bool("stale-ignores", false,
+			"also report lint:ignore comments that suppress nothing (requires the full analyzer suite)")
 	)
 	flag.Parse()
 
@@ -47,9 +51,20 @@ func run() int {
 		return 0
 	}
 
-	analyzers, err := selectAnalyzers(*enable, *disable)
+	analyzers, err := analysis.Select(*enable, *disable)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "approxlint:", err)
+		return 2
+	}
+	if len(analyzers) == 0 {
+		fmt.Fprintln(os.Stderr, "approxlint: no analyzers selected")
+		return 2
+	}
+	if *stale && (*enable != "" || *disable != "") {
+		// With a subset enabled, directives for the skipped analyzers
+		// would be reported as stale even though they still do their
+		// job on a full run.
+		fmt.Fprintln(os.Stderr, "approxlint: -stale-ignores requires the full analyzer suite (no -enable/-disable)")
 		return 2
 	}
 
@@ -60,7 +75,7 @@ func run() int {
 		return 2
 	}
 
-	diags := analysis.Run(pkgs, analyzers)
+	diags := analysis.RunWithOptions(pkgs, analyzers, analysis.Options{StaleIgnores: *stale})
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -83,41 +98,4 @@ func run() int {
 		return 1
 	}
 	return 0
-}
-
-// selectAnalyzers applies the -enable/-disable flags to the registry.
-func selectAnalyzers(enable, disable string) ([]*analysis.Analyzer, error) {
-	var out []*analysis.Analyzer
-	if enable != "" {
-		for _, name := range strings.Split(enable, ",") {
-			a := analysis.ByName(strings.TrimSpace(name))
-			if a == nil {
-				return nil, fmt.Errorf("unknown analyzer %q", name)
-			}
-			out = append(out, a)
-		}
-	} else {
-		out = analysis.All()
-	}
-	if disable != "" {
-		skip := map[string]bool{}
-		for _, name := range strings.Split(disable, ",") {
-			name = strings.TrimSpace(name)
-			if analysis.ByName(name) == nil {
-				return nil, fmt.Errorf("unknown analyzer %q", name)
-			}
-			skip[name] = true
-		}
-		kept := out[:0]
-		for _, a := range out {
-			if !skip[a.Name] {
-				kept = append(kept, a)
-			}
-		}
-		out = kept
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no analyzers selected")
-	}
-	return out, nil
 }

@@ -28,7 +28,9 @@ import (
 	"strings"
 )
 
-// Analyzer is one named check.
+// Analyzer is one named check. Per-package analyzers set Run;
+// whole-program analyzers (which need the cross-package call graph)
+// set RunProgram. Exactly one of the two must be non-nil.
 type Analyzer struct {
 	// Name is the identifier used on the command line and in
 	// lint:ignore directives.
@@ -37,6 +39,8 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings through the pass.
 	Run func(p *Pass)
+	// RunProgram inspects the whole loaded program at once.
+	RunProgram func(p *ProgramPass)
 }
 
 // Diagnostic is one finding.
@@ -58,6 +62,9 @@ type Pass struct {
 	Path     string // package import path ("_test" suffix for external test packages)
 	Pkg      *types.Package
 	Info     *types.Info
+	// Facts is the shared whole-program layer (declarations, directive
+	// marks, call graph) built once per run.
+	Facts *Facts
 
 	diags *[]Diagnostic
 }
@@ -76,38 +83,105 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
 }
 
+// ProgramPass carries the whole loaded program to one whole-program
+// analyzer.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Facts    *Facts
+
+	fset  *token.FileSet
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *ProgramPass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.fset.Position(pos).Filename, "_test.go")
+}
+
 // ErrorType is the universe error interface type, for analyzers that
 // look for discarded errors.
 var ErrorType = types.Universe.Lookup("error").Type()
 
-// Run applies every analyzer to every package, filters findings
-// through lint:ignore directives, and returns the surviving
-// diagnostics sorted by position. Malformed directives are themselves
-// reported under the pseudo-analyzer "ignore".
+// Options tunes one engine run.
+type Options struct {
+	// StaleIgnores additionally reports (under the pseudo-analyzer
+	// "ignore") every well-formed lint:ignore directive that suppressed
+	// nothing. Only meaningful when the full analyzer suite runs: with
+	// a subset enabled, directives for the disabled analyzers would be
+	// falsely stale.
+	StaleIgnores bool
+}
+
+// Run applies every analyzer to every package with default options.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var all []Diagnostic
+	return RunWithOptions(pkgs, analyzers, Options{})
+}
+
+// RunWithOptions builds the whole-program facts layer once, applies
+// every analyzer (per-package Run passes and whole-program RunProgram
+// passes), filters findings through lint:ignore directives, and
+// returns the surviving diagnostics deduplicated and sorted in stable
+// file:line:column:analyzer order, so output is byte-identical from
+// run to run regardless of package order. Malformed directives are
+// reported under the pseudo-analyzer "ignore".
+func RunWithOptions(pkgs []*Package, analyzers []*Analyzer, opts Options) []Diagnostic {
+	facts := NewFacts(pkgs)
+
+	// All packages from one Loader share a FileSet; directives are
+	// indexed globally so program-level findings in any package can be
+	// suppressed at their position.
+	var all, raw []Diagnostic
+	idx := newDirectives()
+	var fset *token.FileSet
 	for _, pkg := range pkgs {
-		idx, bad := directiveIndex(pkg.Fset, pkg.Files)
-		all = append(all, bad...)
-		var raw []Diagnostic
+		fset = pkg.Fset
+		all = append(all, idx.scan(pkg.Fset, pkg.Files)...)
+	}
+
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			pass := &Pass{
+			if a.Run == nil {
+				continue
+			}
+			a.Run(&Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
 				Files:    pkg.Files,
 				Path:     pkg.Path,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Facts:    facts,
 				diags:    &raw,
-			}
-			a.Run(pass)
-		}
-		for _, d := range raw {
-			if !idx.suppresses(d) {
-				all = append(all, d)
-			}
+			})
 		}
 	}
+	if fset != nil {
+		for _, a := range analyzers {
+			if a.RunProgram == nil {
+				continue
+			}
+			a.RunProgram(&ProgramPass{Analyzer: a, Facts: facts, fset: fset, diags: &raw})
+		}
+	}
+
+	for _, d := range raw {
+		if !idx.suppresses(d) {
+			all = append(all, d)
+		}
+	}
+	if opts.StaleIgnores {
+		all = append(all, idx.stale()...)
+	}
+
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i].Pos, all[j].Pos
 		if a.Filename != b.Filename {
@@ -119,7 +193,17 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return all[i].Analyzer < all[j].Analyzer
+		if all[i].Analyzer != all[j].Analyzer {
+			return all[i].Analyzer < all[j].Analyzer
+		}
+		return all[i].Message < all[j].Message
 	})
-	return all
+	out := all[:0]
+	for i, d := range all {
+		if i > 0 && d == all[i-1] {
+			continue // identical finding reported twice (e.g. by two passes)
+		}
+		out = append(out, d)
+	}
+	return out
 }

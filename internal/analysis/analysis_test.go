@@ -1,10 +1,13 @@
 package analysis
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -13,17 +16,32 @@ import (
 	"testing"
 )
 
+// fixtureDep is a sibling fixture package a fixture imports; it is
+// typechecked first and analyzed together with the main fixture so the
+// whole-program analyzers see across the package boundary.
+type fixtureDep struct{ dir, path string }
+
 // fixtureCases maps each testdata/src directory to the import path its
 // package poses as. virtualclock only fires inside simulator packages,
-// so that fixture borrows a simulator path.
-var fixtureCases = []struct{ dir, path string }{
-	{"virtualclock", "approxhadoop/internal/cluster"},
-	{"seededrand", "example.test/workload"},
-	{"nofloateq", "example.test/floats"},
-	{"nopanic", "example.test/lib"},
-	{"errcheck", "example.test/errs"},
-	{"ignore", "example.test/ignored"},
-	{"sharedstate", "example.test/compute"},
+// so that fixture borrows a simulator path; the lockheld fixture poses
+// as the job service for the same reason. The purity fixture spans two
+// packages: the violation lives in the dep package, where the
+// intra-package sharedstate closure provably cannot see it.
+var fixtureCases = []struct {
+	dir, path string
+	deps      []fixtureDep
+}{
+	{dir: "virtualclock", path: "approxhadoop/internal/cluster"},
+	{dir: "seededrand", path: "example.test/workload"},
+	{dir: "nofloateq", path: "example.test/floats"},
+	{dir: "nopanic", path: "example.test/lib"},
+	{dir: "errcheck", path: "example.test/errs"},
+	{dir: "ignore", path: "example.test/ignored"},
+	{dir: "sharedstate", path: "example.test/compute"},
+	{dir: "purity", path: "example.test/purity",
+		deps: []fixtureDep{{dir: "purity/dep", path: "example.test/purity/dep"}}},
+	{dir: "hotpath", path: "example.test/hot"},
+	{dir: "lockheld", path: "approxhadoop/internal/jobserver"},
 }
 
 // wantRe matches expected-diagnostic comments in fixtures:
@@ -57,45 +75,79 @@ func expectedDiags(t *testing.T, path string) map[string]int {
 	return want
 }
 
+// parseFixtureDir parses the .go files directly inside
+// testdata/src/<dir> and merges their want comments into want.
+func parseFixtureDir(t *testing.T, fset *token.FileSet, dir string, want map[string]int) []*ast.File {
+	t.Helper()
+	full := filepath.Join("testdata", "src", dir)
+	entries, err := os.ReadDir(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(full, e.Name())
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+		for k, n := range expectedDiags(t, name) {
+			want[k] += n
+		}
+	}
+	return files
+}
+
+// fixtureImports lists the stdlib packages fixtures may import.
+var fixtureImports = []string{"time", "math/rand", "fmt", "strings", "errors", "sync", "strconv", "os"}
+
+// loadFixture typechecks one fixture case (dep packages first, wired
+// through a registering importer) and returns the packages in
+// dependency order plus the merged want keys.
+func loadFixture(t *testing.T, fset *token.FileSet, imp types.Importer, c struct {
+	dir, path string
+	deps      []fixtureDep
+}) ([]*Package, map[string]int) {
+	t.Helper()
+	si := NewSourceImporter(imp)
+	want := map[string]int{}
+	var pkgs []*Package
+	for _, dep := range c.deps {
+		files := parseFixtureDir(t, fset, dep.dir, want)
+		pkg, err := CheckParsed(fset, dep.path, files, si)
+		if err != nil {
+			t.Fatal(err)
+		}
+		si.Register(pkg.Types)
+		pkgs = append(pkgs, pkg)
+	}
+	files := parseFixtureDir(t, fset, c.dir, want)
+	pkg, err := CheckParsed(fset, c.path, files, si)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(pkgs, pkg), want
+}
+
 func TestFixtures(t *testing.T) {
 	fset := token.NewFileSet()
-	imp, err := StdImporter("../..", fset, "time", "math/rand", "fmt", "strings", "errors", "sync")
+	imp, err := StdImporter("../..", fset, fixtureImports...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	covered := map[string]bool{}
 	for _, c := range fixtureCases {
-		t.Run(c.dir, func(t *testing.T) {
-			dir := filepath.Join("testdata", "src", c.dir)
-			entries, err := os.ReadDir(dir)
-			if err != nil {
-				t.Fatal(err)
-			}
-			var files []*ast.File
-			want := map[string]int{}
-			for _, e := range entries {
-				if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-					continue
-				}
-				name := filepath.Join(dir, e.Name())
-				f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
-				if err != nil {
-					t.Fatal(err)
-				}
-				files = append(files, f)
-				for k, n := range expectedDiags(t, name) {
-					want[k] += n
-				}
-			}
+		t.Run(strings.ReplaceAll(c.dir, "/", "_"), func(t *testing.T) {
+			pkgs, want := loadFixture(t, fset, imp, c)
 			if len(want) == 0 {
 				t.Fatalf("fixture %s has no want comments", c.dir)
 			}
-			pkg, err := CheckParsed(fset, c.path, files, imp)
-			if err != nil {
-				t.Fatal(err)
-			}
 			got := map[string]int{}
-			for _, d := range Run([]*Package{pkg}, All()) {
+			for _, d := range Run(pkgs, All()) {
 				got[fmt.Sprintf("%d:%s", d.Pos.Line, d.Analyzer)]++
 				covered[d.Analyzer] = true
 			}
@@ -128,10 +180,110 @@ func TestFixtures(t *testing.T) {
 	}
 }
 
-// TestRepoClean runs the full suite over the whole repository. The
-// tree must stay lint-clean: new wall-clock reads, global rand draws,
-// exact float comparisons, stray panics, and dropped errors show up
-// here (and in CI) immediately.
+// TestStaleIgnores checks both halves of stale-suppression detection:
+// a live directive keeps its finding suppressed and is not reported,
+// while a directive that suppresses nothing is reported (only) when
+// StaleIgnores is on.
+func TestStaleIgnores(t *testing.T) {
+	fset := token.NewFileSet()
+	imp, err := StdImporter("../..", fset, fixtureImports...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := parseFixtureDir(t, fset, "stale", map[string]int{})
+	pkg, err := CheckParsed(fset, "example.test/stale", files, imp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Package{pkg}, All()); len(diags) != 0 {
+		t.Errorf("without StaleIgnores: want 0 diagnostics, got %v", diags)
+	}
+	diags := RunWithOptions([]*Package{pkg}, All(), Options{StaleIgnores: true})
+	if len(diags) != 1 {
+		t.Fatalf("with StaleIgnores: want exactly 1 diagnostic, got %v", diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "ignore" || !strings.Contains(d.Message, "stale lint:ignore nopanic") {
+		t.Errorf("unexpected stale report: %s", d)
+	}
+}
+
+// TestSelect covers the -enable/-disable resolution: unknown names
+// must error instead of silently running nothing.
+func TestSelect(t *testing.T) {
+	all, err := Select("", "")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("Select(\"\",\"\") = %d analyzers, err %v; want full suite", len(all), err)
+	}
+	one, err := Select("errcheck", "")
+	if err != nil || len(one) != 1 || one[0].Name != "errcheck" {
+		t.Fatalf("Select(errcheck) = %v, err %v", one, err)
+	}
+	most, err := Select("", "nopanic,errcheck")
+	if err != nil || len(most) != len(All())-2 {
+		t.Fatalf("Select(disable two) = %d analyzers, err %v", len(most), err)
+	}
+	for _, a := range most {
+		if a.Name == "nopanic" || a.Name == "errcheck" {
+			t.Errorf("disabled analyzer %s still selected", a.Name)
+		}
+	}
+	if _, err := Select("bogus", ""); err == nil {
+		t.Error("Select(enable bogus) did not error")
+	}
+	if _, err := Select("", "bogus"); err == nil {
+		t.Error("Select(disable bogus) did not error")
+	}
+	if _, err := Select("errcheck,bogus", ""); err == nil {
+		t.Error("Select with one bad name in a list did not error")
+	}
+}
+
+// TestDeterminism requires byte-identical JSON output run-to-run and
+// under permuted package order, which the stable sort plus dedupe
+// guarantees.
+func TestDeterminism(t *testing.T) {
+	fset := token.NewFileSet()
+	imp, err := StdImporter("../..", fset, fixtureImports...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c = fixtureCases[7] // the two-package purity fixture
+	if c.dir != "purity" {
+		t.Fatal("fixture order changed; update the index")
+	}
+	pkgs, _ := loadFixture(t, fset, imp, c)
+	if len(pkgs) != 2 {
+		t.Fatalf("want 2 packages, got %d", len(pkgs))
+	}
+	encode := func(pkgs []*Package) []byte {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		if err := enc.Encode(RunWithOptions(pkgs, All(), Options{StaleIgnores: true})); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first := encode(pkgs)
+	if len(first) <= len("[]\n") {
+		t.Fatal("determinism fixture produced no findings")
+	}
+	if again := encode(pkgs); !bytes.Equal(first, again) {
+		t.Errorf("output differs between identical runs:\n%s\nvs\n%s", first, again)
+	}
+	reversed := []*Package{pkgs[1], pkgs[0]}
+	if perm := encode(reversed); !bytes.Equal(first, perm) {
+		t.Errorf("output depends on package order:\n%s\nvs\n%s", first, perm)
+	}
+}
+
+// TestRepoClean runs the full suite — including the whole-program
+// purity, hotpath, and lockheld analyzers and stale-suppression
+// detection — over the whole repository. The tree must stay
+// lint-clean: new wall-clock reads, global rand draws, exact float
+// comparisons, stray panics, dropped errors, compute-plane impurities,
+// hot-path allocations, lock-discipline breaches, and dead lint:ignore
+// comments show up here (and in CI) immediately.
 func TestRepoClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and typechecks the whole repository")
@@ -141,7 +293,7 @@ func TestRepoClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if diags := Run(pkgs, All()); len(diags) > 0 {
+	if diags := RunWithOptions(pkgs, All(), Options{StaleIgnores: true}); len(diags) > 0 {
 		for _, d := range diags {
 			t.Errorf("%s", d)
 		}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+const callgraphSrc = `package cg
+
+type impl struct{ n int }
+
+func (i impl) Do() int { return i.n }
+
+type doer interface{ Do() int }
+
+func helper() int {
+	var i impl
+	return i.Do()
+}
+
+func direct() int { return helper() }
+
+func viaIface(d doer) int { return d.Do() }
+
+func viaValue(f func() int) int { return f() }
+
+func inLiteral() int {
+	g := func() int { return helper() }
+	return g()
+}
+
+var _ = direct
+var _ = viaIface
+var _ = viaValue
+var _ = inLiteral
+`
+
+// loadCallgraphFixture typechecks the inline source and returns the
+// facts layer plus a name → *types.Func index.
+func loadCallgraphFixture(t *testing.T) (*Facts, map[string]*types.Func) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cg.go", callgraphSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := StdImporter("../..", fset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := CheckParsed(fset, "example.test/cg", []*ast.File{f}, imp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts := NewFacts([]*Package{pkg})
+	byName := map[string]*types.Func{}
+	for fn := range facts.Funcs {
+		byName[fn.Name()] = fn
+	}
+	return facts, byName
+}
+
+// TestCallGraphDevirtualization: a method call on a concrete receiver
+// resolves to a static edge; plain function calls do too, including
+// from inside function literals (attributed to the enclosing
+// function).
+func TestCallGraphDevirtualization(t *testing.T) {
+	facts, fns := loadCallgraphFixture(t)
+	g := facts.Graph()
+
+	callees := g.StaticCallees(fns["helper"])
+	if len(callees) != 1 || callees[0].Name() != "Do" {
+		t.Errorf("helper static callees = %v; want the devirtualized impl.Do", callees)
+	}
+	if fr := g.Frontier(fns["helper"]); len(fr) != 0 {
+		t.Errorf("helper frontier = %v; want none", fr)
+	}
+
+	callees = g.StaticCallees(fns["direct"])
+	if len(callees) != 1 || callees[0] != fns["helper"] {
+		t.Errorf("direct static callees = %v; want helper", callees)
+	}
+
+	// Calls inside the literal belong to inLiteral; the call through
+	// the local variable g is frontier, but exempt-by-locality is the
+	// purity analyzer's policy, not the graph's.
+	callees = g.StaticCallees(fns["inLiteral"])
+	if len(callees) != 1 || callees[0] != fns["helper"] {
+		t.Errorf("inLiteral static callees = %v; want helper (literal body inlined)", callees)
+	}
+	if fr := g.Frontier(fns["inLiteral"]); len(fr) != 1 || fr[0].Kind != CallFuncValue || fr[0].Target == nil || fr[0].Target.Name() != "g" {
+		t.Errorf("inLiteral frontier = %v; want one func-value call through g", fr)
+	}
+}
+
+// TestCallGraphFrontier: interface method calls and function-value
+// calls are recorded as frontier, not dropped.
+func TestCallGraphFrontier(t *testing.T) {
+	facts, fns := loadCallgraphFixture(t)
+	g := facts.Graph()
+
+	fr := g.Frontier(fns["viaIface"])
+	if len(fr) != 1 || fr[0].Kind != CallInterface {
+		t.Fatalf("viaIface frontier = %v; want one interface call", fr)
+	}
+	if fr[0].Callee == nil || fr[0].Callee.Name() != "Do" {
+		t.Errorf("viaIface frontier callee = %v; want the interface method Do", fr[0].Callee)
+	}
+	if len(g.StaticCallees(fns["viaIface"])) != 0 {
+		t.Errorf("viaIface has static callees; the interface call must not devirtualize")
+	}
+
+	fr = g.Frontier(fns["viaValue"])
+	if len(fr) != 1 || fr[0].Kind != CallFuncValue || fr[0].Target == nil || fr[0].Target.Name() != "f" {
+		t.Fatalf("viaValue frontier = %v; want one func-value call through parameter f", fr)
+	}
+}
+
+// TestCallGraphReachable: reachability follows static edges only.
+func TestCallGraphReachable(t *testing.T) {
+	facts, fns := loadCallgraphFixture(t)
+	g := facts.Graph()
+
+	reach := g.Reachable([]*types.Func{fns["direct"]})
+	for _, name := range []string{"direct", "helper", "Do"} {
+		if !reach[fns[name]] {
+			t.Errorf("%s not reachable from direct", name)
+		}
+	}
+	if reach[fns["viaIface"]] || reach[fns["viaValue"]] {
+		t.Errorf("unrelated functions reported reachable: %v", reach)
+	}
+}

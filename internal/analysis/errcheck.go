@@ -96,7 +96,7 @@ func returnsError(p *Pass, call *ast.CallExpr) bool {
 // excludedCallee reports whether the statically-known callee is on the
 // never-fails list.
 func excludedCallee(p *Pass, call *ast.CallExpr) bool {
-	fn := calleeFunc(p, call)
+	fn := calleeStatic(p.Info, call)
 	if fn == nil || fn.Pkg() == nil {
 		return false
 	}
@@ -110,21 +110,8 @@ func excludedCallee(p *Pass, call *ast.CallExpr) bool {
 	return false
 }
 
-// calleeFunc resolves the called function object, if statically known.
-func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		fn, _ := p.Info.Uses[fun].(*types.Func)
-		return fn
-	case *ast.SelectorExpr:
-		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
-		return fn
-	}
-	return nil
-}
-
 func calleeName(p *Pass, call *ast.CallExpr) string {
-	if fn := calleeFunc(p, call); fn != nil {
+	if fn := calleeStatic(p.Info, call); fn != nil {
 		return fn.FullName()
 	}
 	return "call"

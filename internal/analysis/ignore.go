@@ -4,14 +4,16 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
 // directive is one parsed //lint:ignore comment.
 type directive struct {
 	analyzers map[string]bool // nil means "all"
-	file      string
-	line      int
+	names     string          // the analyzer list as written, for stale reports
+	pos       token.Position
+	used      bool // suppressed at least one finding this run
 }
 
 // directives indexes suppression comments by file and line.
@@ -21,13 +23,16 @@ type directives struct {
 
 const ignorePrefix = "//lint:ignore"
 
-// directiveIndex scans file comments for //lint:ignore directives. A
+func newDirectives() *directives {
+	return &directives{byLine: map[string]map[int]*directive{}}
+}
+
+// scan collects //lint:ignore directives from file comments. A
 // directive suppresses matching findings on its own line or the line
 // immediately below (so it can sit above the offending statement).
 // Malformed directives — no analyzer list, or no reason — are returned
 // as diagnostics of the pseudo-analyzer "ignore".
-func directiveIndex(fset *token.FileSet, files []*ast.File) (*directives, []Diagnostic) {
-	idx := &directives{byLine: make(map[string]map[int]*directive)}
+func (ds *directives) scan(fset *token.FileSet, files []*ast.File) []Diagnostic {
 	var bad []Diagnostic
 	report := func(pos token.Pos, format string, args ...interface{}) {
 		bad = append(bad, Diagnostic{
@@ -55,37 +60,67 @@ func directiveIndex(fset *token.FileSet, files []*ast.File) (*directives, []Diag
 					report(c.Pos(), "lint:ignore %s needs a reason", fields[0])
 					continue
 				}
-				d := &directive{}
+				d := &directive{names: fields[0], pos: fset.Position(c.Pos())}
 				if fields[0] != "all" {
 					d.analyzers = make(map[string]bool)
 					for _, name := range strings.Split(fields[0], ",") {
 						d.analyzers[name] = true
 					}
 				}
-				pos := fset.Position(c.Pos())
-				d.file, d.line = pos.Filename, pos.Line
-				if idx.byLine[d.file] == nil {
-					idx.byLine[d.file] = make(map[int]*directive)
+				if ds.byLine[d.pos.Filename] == nil {
+					ds.byLine[d.pos.Filename] = make(map[int]*directive)
 				}
-				idx.byLine[d.file][d.line] = d
+				ds.byLine[d.pos.Filename][d.pos.Line] = d
 			}
 		}
 	}
-	return idx, bad
+	return bad
 }
 
-// suppresses reports whether a directive covers the diagnostic.
+// suppresses reports whether a directive covers the diagnostic, and
+// marks every covering directive as used (both the same-line and the
+// line-above one, when present — each on its own suppresses the
+// finding, so neither is stale).
 func (ds *directives) suppresses(d Diagnostic) bool {
 	lines := ds.byLine[d.Pos.Filename]
 	if lines == nil {
 		return false
 	}
+	hit := false
 	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
 		if dir, ok := lines[line]; ok {
 			if dir.analyzers == nil || dir.analyzers[d.Analyzer] {
-				return true
+				dir.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// stale returns one "ignore" diagnostic per well-formed directive that
+// suppressed nothing, in deterministic position order.
+func (ds *directives) stale() []Diagnostic {
+	var out []Diagnostic
+	for _, lines := range ds.byLine {
+		for _, dir := range lines {
+			if dir.used {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Analyzer: "ignore",
+				Pos:      dir.pos,
+				Message: fmt.Sprintf(
+					"stale lint:ignore %s: it suppresses no diagnostic and should be removed",
+					dir.names),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out
 }

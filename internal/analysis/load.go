@@ -229,6 +229,31 @@ func CheckParsed(fset *token.FileSet, path string, files []*ast.File, imp types.
 	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
 }
 
+// SourceImporter resolves registered source-checked packages first and
+// falls back to a base importer. Multi-package fixture tests use it so
+// a fixture package can import a sibling fixture package that was
+// typechecked in memory.
+type SourceImporter struct {
+	Base types.Importer
+	pkgs map[string]*types.Package
+}
+
+// NewSourceImporter wraps base.
+func NewSourceImporter(base types.Importer) *SourceImporter {
+	return &SourceImporter{Base: base, pkgs: map[string]*types.Package{}}
+}
+
+// Register makes pkg resolvable by its import path.
+func (s *SourceImporter) Register(pkg *types.Package) { s.pkgs[pkg.Path()] = pkg }
+
+// Import implements types.Importer.
+func (s *SourceImporter) Import(path string) (*types.Package, error) {
+	if p, ok := s.pkgs[path]; ok {
+		return p, nil
+	}
+	return s.Base.Import(path)
+}
+
 // StdImporter builds an importer that resolves the given import paths
 // (plus their dependencies) from compiler export data. Fixture tests
 // use it to typecheck standalone files.

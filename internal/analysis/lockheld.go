@@ -1,0 +1,609 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Lockheld is the static groundwork for the sharded-daemon refactor:
+// inside internal/jobserver and the mapreduce worker pool it flags
+// operations that can block — channel sends/receives, select without
+// default, Cond.Wait, network/file I/O, time.Sleep, WaitGroup.Wait —
+// while a sync.Mutex or RWMutex is held (directly or through a static
+// call chain), requires every sync.Cond.Wait to sit inside a for loop,
+// and reports lock pairs acquired in inconsistent order across the
+// arbiter/service pair.
+//
+// The held-lock tracking is a straight-line approximation: branches
+// are analyzed with a copy of the held set and their changes do not
+// escape, and function literals start with an empty held set (a
+// callback may run on any goroutine, where the creator's locks are not
+// held).
+var Lockheld = &Analyzer{
+	Name: "lockheld",
+	Doc: "flag blocking operations (channel send/receive, select without default, " +
+		"network/file I/O, time.Sleep, WaitGroup.Wait) performed while a " +
+		"sync.Mutex/RWMutex is held in internal/jobserver and the mapreduce worker " +
+		"pool — including through static call chains — plus sync.Cond.Wait outside " +
+		"a for loop and inconsistent lock-acquisition order",
+	RunProgram: runLockheld,
+}
+
+// lockheldScope reports whether a function declared in the given
+// package and file is subject to lock-discipline checks.
+func lockheldScope(pkgPath, filename string) bool {
+	if strings.HasSuffix(filename, "_test.go") {
+		return false
+	}
+	path := strings.TrimSuffix(pkgPath, "_test")
+	if path == "jobserver" || strings.HasSuffix(path, "/jobserver") {
+		return true
+	}
+	if path == "mapreduce" || strings.HasSuffix(path, "/mapreduce") {
+		return filepath.Base(filename) == "pool.go"
+	}
+	return false
+}
+
+// orderSite is the first observed site acquiring lock pair[1] while
+// holding pair[0].
+type orderSite struct {
+	pos  token.Pos
+	inFn string
+}
+
+type lockheldRunner struct {
+	p *ProgramPass
+	f *Facts
+
+	// blockCache memoizes, per function, a description of the first
+	// blocking operation anywhere in its body or static call tree ("" =
+	// none).
+	blockCache map[*types.Func]string
+	blockBusy  map[*types.Func]bool
+	// acquireCache memoizes the set of lock variables a function may
+	// acquire, directly or transitively.
+	acquireCache map[*types.Func]map[*types.Var]bool
+	acquireBusy  map[*types.Func]bool
+
+	// orders maps (held, acquired) lock pairs to their first site.
+	orders map[[2]*types.Var]orderSite
+}
+
+func runLockheld(p *ProgramPass) {
+	r := &lockheldRunner{
+		p:            p,
+		f:            p.Facts,
+		blockCache:   map[*types.Func]string{},
+		blockBusy:    map[*types.Func]bool{},
+		acquireCache: map[*types.Func]map[*types.Var]bool{},
+		acquireBusy:  map[*types.Func]bool{},
+		orders:       map[[2]*types.Var]orderSite{},
+	}
+	var scoped []*FuncInfo
+	for _, fi := range p.Facts.Funcs {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		file := p.fset.Position(fi.Decl.Pos()).Filename
+		if lockheldScope(fi.Pkg.Path, file) {
+			scoped = append(scoped, fi)
+		}
+	}
+	sort.Slice(scoped, func(i, j int) bool { return scoped[i].Decl.Pos() < scoped[j].Decl.Pos() })
+	for _, fi := range scoped {
+		r.checkFunc(fi)
+		r.checkCondWait(fi)
+	}
+	r.reportOrderInversions()
+}
+
+// checkFunc walks one function body tracking held locks.
+func (r *lockheldRunner) checkFunc(fi *FuncInfo) {
+	held := map[*types.Var]token.Pos{}
+	r.walkBlock(fi, fi.Decl.Body, held)
+}
+
+func clone(held map[*types.Var]token.Pos) map[*types.Var]token.Pos {
+	c := make(map[*types.Var]token.Pos, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func (r *lockheldRunner) walkBlock(fi *FuncInfo, b *ast.BlockStmt, held map[*types.Var]token.Pos) {
+	for _, s := range b.List {
+		r.walkStmt(fi, s, held)
+	}
+}
+
+func (r *lockheldRunner) walkStmt(fi *FuncInfo, s ast.Stmt, held map[*types.Var]token.Pos) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		r.walkBlock(fi, s, held)
+	case *ast.LabeledStmt:
+		r.walkStmt(fi, s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			r.walkStmt(fi, s.Init, held)
+		}
+		r.inspect(fi, s.Cond, held)
+		r.walkBlock(fi, s.Body, clone(held))
+		if s.Else != nil {
+			r.walkStmt(fi, s.Else, clone(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			r.walkStmt(fi, s.Init, held)
+		}
+		if s.Cond != nil {
+			r.inspect(fi, s.Cond, held)
+		}
+		inner := clone(held)
+		r.walkBlock(fi, s.Body, inner)
+		if s.Post != nil {
+			r.walkStmt(fi, s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		r.inspect(fi, s.X, held)
+		if t := fi.Pkg.Info.Types[s.X].Type; t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				r.reportBlocked(fi, s.Pos(), "ranges over a channel", held)
+			}
+		}
+		r.walkBlock(fi, s.Body, clone(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			r.walkStmt(fi, s.Init, held)
+		}
+		if s.Tag != nil {
+			r.inspect(fi, s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			inner := clone(held)
+			for _, st := range cc.Body {
+				r.walkStmt(fi, st, inner)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			r.walkStmt(fi, s.Init, held)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			inner := clone(held)
+			for _, st := range cc.Body {
+				r.walkStmt(fi, st, inner)
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if c.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			r.reportBlocked(fi, s.Pos(), "selects without a default case", held)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			inner := clone(held)
+			for _, st := range cc.Body {
+				r.walkStmt(fi, st, inner)
+			}
+		}
+	case *ast.SendStmt:
+		r.reportBlocked(fi, s.Pos(), "sends on a channel", held)
+		r.inspect(fi, s.Chan, held)
+		r.inspect(fi, s.Value, held)
+	case *ast.GoStmt:
+		// The goroutine body runs elsewhere: fresh held set. Spawning
+		// itself does not block.
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			r.walkBlock(fi, fl.Body, map[*types.Var]token.Pos{})
+		}
+	case *ast.DeferStmt:
+		// defer mu.Unlock() releases at return: the lock stays held
+		// for the rest of the function, which the linear walk already
+		// models by not removing it. Other deferred work runs at
+		// return and is out of scope.
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			r.walkBlock(fi, fl.Body, map[*types.Var]token.Pos{})
+		}
+	default:
+		r.inspect(fi, s, held)
+	}
+}
+
+// inspect scans one simple statement or expression in source order,
+// handling lock operations, blocking constructs, and calls. Function
+// literals are walked with a fresh empty held set.
+func (r *lockheldRunner) inspect(fi *FuncInfo, n ast.Node, held map[*types.Var]token.Pos) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			r.walkBlock(fi, n.Body, map[*types.Var]token.Pos{})
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				r.reportBlocked(fi, n.Pos(), "receives from a channel", held)
+			}
+		case *ast.CallExpr:
+			r.handleCall(fi, n, held)
+		}
+		return true
+	})
+}
+
+// handleCall processes one call: lock/unlock tracking, blocking
+// classification, and transitive summaries.
+func (r *lockheldRunner) handleCall(fi *FuncInfo, call *ast.CallExpr, held map[*types.Var]token.Pos) {
+	info := fi.Pkg.Info
+	if lockVar, op := mutexOp(info, call); lockVar != nil {
+		switch op {
+		case "Lock", "RLock":
+			r.recordAcquire(fi, lockVar, call.Pos(), held)
+			held[lockVar] = call.Pos()
+		case "Unlock", "RUnlock":
+			delete(held, lockVar)
+		}
+		return
+	}
+	if isCondMethod(info, call) {
+		return // Wait releases its lock; the for-loop check runs separately
+	}
+	if desc := blockingCall(info, call); desc != "" {
+		r.reportBlocked(fi, call.Pos(), desc, held)
+		return
+	}
+	callee := calleeStatic(info, call)
+	if callee == nil {
+		return
+	}
+	ci := r.f.DeclOf(callee)
+	if ci == nil {
+		return
+	}
+	if len(held) > 0 {
+		if desc := r.blocks(callee); desc != "" {
+			r.reportBlockedVia(fi, call.Pos(), callee, desc, held)
+		}
+		for lock := range r.acquires(callee) {
+			r.recordAcquire(fi, lock, call.Pos(), held)
+		}
+	}
+}
+
+// reportBlocked reports a direct blocking operation when any lock is
+// held.
+func (r *lockheldRunner) reportBlocked(fi *FuncInfo, pos token.Pos, what string, held map[*types.Var]token.Pos) {
+	for _, lock := range sortedLocks(held) {
+		r.p.Reportf(pos,
+			"%s %s while holding %s (acquired at %s); blocking under a lock stalls every other goroutine contending for it",
+			fi.Obj.Name(), what, lock.Name(), r.p.fset.Position(held[lock]))
+	}
+}
+
+// reportBlockedVia reports a blocking operation reached through a
+// static call.
+func (r *lockheldRunner) reportBlockedVia(fi *FuncInfo, pos token.Pos, callee *types.Func, what string, held map[*types.Var]token.Pos) {
+	for _, lock := range sortedLocks(held) {
+		r.p.Reportf(pos,
+			"%s calls %s, which %s, while holding %s (acquired at %s); blocking under a lock stalls every other goroutine contending for it",
+			fi.Obj.Name(), callee.Name(), what, lock.Name(), r.p.fset.Position(held[lock]))
+	}
+}
+
+func sortedLocks(held map[*types.Var]token.Pos) []*types.Var {
+	out := make([]*types.Var, 0, len(held))
+	for v := range held {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// recordAcquire notes an acquisition of lock while holding the current
+// set, for the order-inversion report.
+func (r *lockheldRunner) recordAcquire(fi *FuncInfo, lock *types.Var, pos token.Pos, held map[*types.Var]token.Pos) {
+	for prior := range held {
+		if prior == lock {
+			continue
+		}
+		key := [2]*types.Var{prior, lock}
+		if _, ok := r.orders[key]; !ok {
+			r.orders[key] = orderSite{pos: pos, inFn: fi.Obj.Name()}
+		}
+	}
+}
+
+// reportOrderInversions reports every lock pair observed in both
+// acquisition orders, once per direction at its first site.
+func (r *lockheldRunner) reportOrderInversions() {
+	type finding struct {
+		site  orderSite
+		other orderSite
+		a, b  *types.Var
+	}
+	var out []finding
+	for key, site := range r.orders {
+		rev, ok := r.orders[[2]*types.Var{key[1], key[0]}]
+		if !ok {
+			continue
+		}
+		out = append(out, finding{site: site, other: rev, a: key[0], b: key[1]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].site.pos < out[j].site.pos })
+	for _, f := range out {
+		r.p.Reportf(f.site.pos,
+			"%s acquires %s while holding %s, but %s acquires them in the opposite order at %s; inconsistent lock order deadlocks under contention",
+			f.site.inFn, f.b.Name(), f.a.Name(), f.other.inFn, r.p.fset.Position(f.other.pos))
+	}
+}
+
+// checkCondWait requires every sync.Cond.Wait call to sit inside a for
+// loop within the same function literal (spurious wakeups require
+// re-checking the predicate in a loop).
+func (r *lockheldRunner) checkCondWait(fi *FuncInfo) {
+	info := fi.Pkg.Info
+	var stack []ast.Node
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isCondWait(info, call) {
+			return true
+		}
+		inFor := false
+		for i := len(stack) - 2; i >= 0; i-- {
+			switch stack[i].(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				inFor = true
+			case *ast.FuncLit:
+				i = -1 // the loop must be in the same function body
+			}
+			if inFor || i < 0 {
+				break
+			}
+		}
+		if !inFor {
+			r.p.Reportf(call.Pos(),
+				"%s calls sync.Cond.Wait outside a for loop; spurious wakeups require re-checking the predicate in a loop around Wait",
+				fi.Obj.Name())
+		}
+		return true
+	})
+}
+
+// mutexOp matches calls to sync.Mutex/RWMutex Lock/RLock/Unlock/
+// RUnlock methods and resolves the lock variable (the field or
+// variable the method is called on). A nil variable means the lock
+// expression is too complex to track.
+func mutexOp(info *types.Info, call *ast.CallExpr) (*types.Var, string) {
+	se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	fn, ok := info.Uses[se.Sel].(*types.Func)
+	if !ok || pkgPathOf(fn) != "sync" {
+		return nil, ""
+	}
+	named := recvNamed(fn)
+	if named == nil {
+		return nil, ""
+	}
+	name := named.Obj().Name()
+	if name != "Mutex" && name != "RWMutex" {
+		return nil, ""
+	}
+	op := fn.Name()
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return lockVarOf(info, se.X), op
+	}
+	return nil, ""
+}
+
+// lockVarOf resolves the variable holding the mutex: `mu` or `x.y.mu`.
+func lockVarOf(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		return v
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return lockVarOf(info, e.X)
+		}
+	}
+	return nil
+}
+
+// isCondMethod matches any method call on sync.Cond.
+func isCondMethod(info *types.Info, call *ast.CallExpr) bool {
+	se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[se.Sel].(*types.Func)
+	if !ok || pkgPathOf(fn) != "sync" {
+		return false
+	}
+	named := recvNamed(fn)
+	return named != nil && named.Obj().Name() == "Cond"
+}
+
+func isCondWait(info *types.Info, call *ast.CallExpr) bool {
+	if !isCondMethod(info, call) {
+		return false
+	}
+	se := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return se.Sel.Name == "Wait"
+}
+
+// blockingPkgs are external packages any call into which counts as
+// potentially blocking I/O.
+var blockingPkgs = map[string]bool{
+	"net":      true,
+	"net/http": true,
+	"os":       true,
+	"os/exec":  true,
+	"syscall":  true,
+}
+
+// blockingCall classifies a call to an external function as blocking,
+// returning a description or "".
+func blockingCall(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeStatic(info, call)
+	if fn == nil {
+		return ""
+	}
+	path := pkgPathOf(fn)
+	if blockingPkgs[path] {
+		return "performs " + path + " I/O (" + path + "." + fn.Name() + ")"
+	}
+	switch path {
+	case "time":
+		if fn.Name() == "Sleep" {
+			return "sleeps (time.Sleep)"
+		}
+	case "sync":
+		if named := recvNamed(fn); named != nil && named.Obj().Name() == "WaitGroup" && fn.Name() == "Wait" {
+			return "waits on a sync.WaitGroup"
+		}
+	case "io":
+		switch fn.Name() {
+		case "Copy", "CopyN", "ReadAll":
+			return "performs io." + fn.Name()
+		}
+	}
+	return ""
+}
+
+// blocks returns a description of the first blocking operation in fn's
+// body or static call tree, or "". Function literals are excluded: a
+// callback stored for later does not block the caller.
+func (r *lockheldRunner) blocks(fn *types.Func) string {
+	if desc, ok := r.blockCache[fn]; ok {
+		return desc
+	}
+	if r.blockBusy[fn] {
+		return ""
+	}
+	r.blockBusy[fn] = true
+	defer func() { r.blockBusy[fn] = false }()
+	fi := r.f.DeclOf(fn)
+	if fi == nil || fi.Decl.Body == nil {
+		r.blockCache[fn] = ""
+		return ""
+	}
+	info := fi.Pkg.Info
+	desc := ""
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			desc = "sends on a channel"
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				desc = "receives from a channel"
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if c.(*ast.CommClause).Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				desc = "selects without a default case"
+			}
+		case *ast.RangeStmt:
+			if t := info.Types[n.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					desc = "ranges over a channel"
+				}
+			}
+		case *ast.CallExpr:
+			if isCondMethod(info, n) {
+				return true
+			}
+			if d := blockingCall(info, n); d != "" {
+				desc = d
+				return false
+			}
+			if callee := calleeStatic(info, n); callee != nil && callee != fn {
+				if r.f.DeclOf(callee) != nil {
+					if d := r.blocks(callee); d != "" {
+						desc = d + " (via " + callee.Name() + ")"
+					}
+				}
+			}
+		}
+		return desc == ""
+	})
+	r.blockCache[fn] = desc
+	return desc
+}
+
+// acquires returns the set of lock variables fn may acquire, directly
+// or through its static call tree (function literals excluded).
+func (r *lockheldRunner) acquires(fn *types.Func) map[*types.Var]bool {
+	if set, ok := r.acquireCache[fn]; ok {
+		return set
+	}
+	if r.acquireBusy[fn] {
+		return nil
+	}
+	r.acquireBusy[fn] = true
+	defer func() { r.acquireBusy[fn] = false }()
+	set := map[*types.Var]bool{}
+	fi := r.f.DeclOf(fn)
+	if fi == nil || fi.Decl.Body == nil {
+		r.acquireCache[fn] = set
+		return set
+	}
+	info := fi.Pkg.Info
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if lockVar, op := mutexOp(info, call); lockVar != nil && (op == "Lock" || op == "RLock") {
+			set[lockVar] = true
+			return true
+		}
+		if callee := calleeStatic(info, call); callee != nil && callee != fn {
+			if r.f.DeclOf(callee) != nil {
+				for v := range r.acquires(callee) {
+					set[v] = true
+				}
+			}
+		}
+		return true
+	})
+	r.acquireCache[fn] = set
+	return set
+}

@@ -7,12 +7,6 @@ import (
 	"strings"
 )
 
-// computeDirective marks a function as compute-plane root: it (and
-// every same-package function statically reachable from it) may run on
-// a worker-pool goroutine concurrently with the virtual-time
-// scheduler, so it must be a pure function of its arguments.
-const computeDirective = "//approx:compute"
-
 // schedulerPlaneTypes are the type names whose state belongs to the
 // single-threaded virtual-time plane. Any selector on a value of such
 // a type inside compute-plane code is a data race waiting to happen
@@ -28,10 +22,9 @@ var schedulerPlaneTypes = map[string]bool{
 // worker-pool simulator: functions marked //approx:compute, plus
 // everything they statically reach inside the same package, must not
 // touch scheduler/engine state, the shared Job.Meter, or package-level
-// variables. The closure is intra-package and by identifier, so calls
-// through interfaces (readers, mappers) are not followed — their
-// implementations earn the directive themselves when they live in a
-// simulator package.
+// variables. The closure is intra-package; the purity analyzer extends
+// the same checks across package boundaries via the call graph and
+// reports frontier calls the closure cannot follow.
 var Sharedstate = &Analyzer{
 	Name: "sharedstate",
 	Doc: "forbid compute-plane code (functions marked //approx:compute and their " +
@@ -45,34 +38,13 @@ var Sharedstate = &Analyzer{
 }
 
 func runSharedstate(p *Pass) {
-	decls := map[*types.Func]*ast.FuncDecl{}
-	var roots []*types.Func
-	for _, f := range p.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok {
-				continue
-			}
-			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			decls[obj] = fd
-			if fd.Doc != nil {
-				for _, c := range fd.Doc.List {
-					if strings.TrimSpace(c.Text) == computeDirective {
-						roots = append(roots, obj)
-					}
-				}
-			}
-		}
-	}
+	roots := p.Facts.PackageRoots(p.Pkg)
 	if len(roots) == 0 {
 		return
 	}
-	// Transitive closure over intra-package calls (functions and
-	// methods alike: every callee identifier resolves through
-	// Info.Uses, including the Sel of a method call).
+	// Transitive closure over intra-package static calls, walked
+	// through the shared call graph.
+	graph := p.Facts.Graph()
 	marked := map[*types.Func]bool{}
 	var visit func(fn *types.Func)
 	visit = func(fn *types.Func) {
@@ -80,63 +52,83 @@ func runSharedstate(p *Pass) {
 			return
 		}
 		marked[fn] = true
-		fd := decls[fn]
-		if fd == nil || fd.Body == nil {
-			return
-		}
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			id, ok := n.(*ast.Ident)
-			if !ok {
-				return true
-			}
-			callee, ok := p.Info.Uses[id].(*types.Func)
-			if !ok || decls[callee] == nil {
-				return true
+		for _, callee := range graph.StaticCallees(fn) {
+			if callee.Pkg() != p.Pkg {
+				continue // cross-package reach is the purity analyzer's job
 			}
 			// A method on a scheduler-plane type is scheduler-plane
 			// code, not part of the compute closure: the call site
 			// itself is flagged as the violation.
-			if recv := callee.Type().(*types.Signature).Recv(); recv != nil {
-				if named := derefNamed(recv.Type()); named != nil && schedulerPlaneTypes[named.Obj().Name()] {
-					return true
-				}
+			if named := recvNamed(callee); named != nil && schedulerPlaneTypes[named.Obj().Name()] {
+				continue
 			}
 			visit(callee)
-			return true
-		})
+		}
 	}
 	for _, r := range roots {
 		visit(r)
 	}
-	for fn := range marked {
-		fd := decls[fn]
-		if fd == nil || fd.Body == nil {
+	for _, fn := range sortedFuncs(marked) {
+		info := p.Facts.DeclOf(fn)
+		if info == nil || info.Decl.Body == nil {
 			continue
 		}
-		checkComputeBody(p, fd)
+		c := &computeBodyChecker{
+			info:   p.Info,
+			pkg:    p.Pkg,
+			fn:     fn.Name(),
+			report: p.Reportf,
+		}
+		c.check(info.Decl.Body)
 	}
 }
 
-// checkComputeBody reports every scheduler-plane touch inside one
-// compute-plane function body.
-func checkComputeBody(p *Pass, fd *ast.FuncDecl) {
-	name := fd.Name.Name
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+// sortedFuncs returns the set's functions in source-position order,
+// for deterministic reporting.
+func sortedFuncs(set map[*types.Func]bool) []*types.Func {
+	out := make([]*types.Func, 0, len(set))
+	for fn := range set {
+		out = append(out, fn)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Pos() < out[j-1].Pos(); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// computeBodyChecker reports every scheduler-plane touch inside one
+// compute-plane function body. It is shared by sharedstate (intra-
+// package closure) and purity (whole-program closure): info and pkg
+// describe the package declaring the function, report routes to the
+// owning pass, and chain carries the cross-package call-chain suffix
+// purity appends to its messages.
+type computeBodyChecker struct {
+	info   *types.Info
+	pkg    *types.Package
+	fn     string
+	chain  string
+	report func(pos token.Pos, format string, args ...interface{})
+}
+
+func (c *computeBodyChecker) check(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CompositeLit:
-			if named := derefNamed(p.Info.Types[n].Type); named != nil && isSyncPool(named) {
-				reportSyncPool(p, name, n.Pos())
+			if named := derefNamed(c.info.Types[n].Type); named != nil && isSyncPool(named) {
+				c.reportSyncPool(n.Pos())
 			}
 		case *ast.ValueSpec:
 			for _, id := range n.Names {
-				if v, ok := p.Info.Defs[id].(*types.Var); ok {
+				if v, ok := c.info.Defs[id].(*types.Var); ok {
 					if named := derefNamed(v.Type()); named != nil && isSyncPool(named) {
-						reportSyncPool(p, name, id.Pos())
+						c.reportSyncPool(id.Pos())
 					}
 				}
 			}
 		case *ast.SelectorExpr:
-			t := p.Info.Types[n.X].Type
+			t := c.info.Types[n.X].Type
 			if t == nil {
 				return true
 			}
@@ -145,25 +137,25 @@ func checkComputeBody(p *Pass, fd *ast.FuncDecl) {
 				return true
 			}
 			if isSyncPool(named) {
-				reportSyncPool(p, name, n.Pos())
+				c.reportSyncPool(n.Pos())
 			}
 			obj := named.Obj()
-			if schedulerPlaneTypes[obj.Name()] && fromSchedulerPlane(p, obj) {
-				p.Reportf(n.Pos(),
-					"compute-plane function %s touches scheduler-plane %s state (.%s); code reachable from %s runs on pool goroutines and must stay pure",
-					name, obj.Name(), n.Sel.Name, computeDirective)
+			if schedulerPlaneTypes[obj.Name()] && fromSchedulerPlane(c.pkg, obj) {
+				c.report(n.Pos(),
+					"compute-plane function %s touches scheduler-plane %s state (.%s); code reachable from %s runs on pool goroutines and must stay pure%s",
+					c.fn, obj.Name(), n.Sel.Name, computeDirective, c.chain)
 			}
 			if obj.Name() == "Job" && n.Sel.Name == "Meter" {
-				p.Reportf(n.Pos(),
-					"compute-plane function %s reads the shared Job.Meter; fork a per-attempt meter (vtime.Fork) at decide time instead",
-					name)
+				c.report(n.Pos(),
+					"compute-plane function %s reads the shared Job.Meter; fork a per-attempt meter (vtime.Fork) at decide time instead%s",
+					c.fn, c.chain)
 			}
 		case *ast.AssignStmt:
 			for _, lhs := range n.Lhs {
-				checkPkgVarWrite(p, name, lhs)
+				c.checkPkgVarWrite(lhs)
 			}
 		case *ast.IncDecStmt:
-			checkPkgVarWrite(p, name, n.X)
+			c.checkPkgVarWrite(n.X)
 		}
 		return true
 	})
@@ -177,31 +169,21 @@ func isSyncPool(named *types.Named) bool {
 	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
 }
 
-func reportSyncPool(p *Pass, fn string, pos token.Pos) {
-	p.Reportf(pos,
-		"compute-plane function %s uses sync.Pool; pool hand-out order depends on goroutine scheduling — use an attempt-owned free list (mapreduce.BufList) instead",
-		fn)
+func (c *computeBodyChecker) reportSyncPool(pos token.Pos) {
+	c.report(pos,
+		"compute-plane function %s uses sync.Pool; pool hand-out order depends on goroutine scheduling — use an attempt-owned free list (mapreduce.BufList) instead%s",
+		c.fn, c.chain)
 }
 
-// derefNamed unwraps one pointer level and returns the named type, if
-// any.
-func derefNamed(t types.Type) *types.Named {
-	if ptr, ok := t.(*types.Pointer); ok {
-		t = ptr.Elem()
-	}
-	named, _ := t.(*types.Named)
-	return named
-}
-
-// fromSchedulerPlane reports whether a named type belongs to this
-// package or the cluster engine package — the two homes of
+// fromSchedulerPlane reports whether a named type belongs to the
+// analyzed package or the cluster engine package — the two homes of
 // scheduler-plane state (fixtures declare local doubles; the real
 // Engine/Server/RunningTask live in internal/cluster).
-func fromSchedulerPlane(p *Pass, obj *types.TypeName) bool {
+func fromSchedulerPlane(pkg *types.Package, obj *types.TypeName) bool {
 	if obj.Pkg() == nil {
 		return false
 	}
-	if obj.Pkg() == p.Pkg {
+	if obj.Pkg() == pkg {
 		return true
 	}
 	path := obj.Pkg().Path()
@@ -210,13 +192,13 @@ func fromSchedulerPlane(p *Pass, obj *types.TypeName) bool {
 
 // checkPkgVarWrite reports assignments and inc/dec statements whose
 // target resolves to a package-level variable (of any package).
-func checkPkgVarWrite(p *Pass, fn string, lhs ast.Expr) {
+func (c *computeBodyChecker) checkPkgVarWrite(lhs ast.Expr) {
 	var obj types.Object
 	switch e := lhs.(type) {
 	case *ast.Ident:
-		obj = p.Info.Uses[e]
+		obj = c.info.Uses[e]
 	case *ast.SelectorExpr:
-		obj = p.Info.Uses[e.Sel]
+		obj = c.info.Uses[e.Sel]
 	default:
 		return
 	}
@@ -225,8 +207,8 @@ func checkPkgVarWrite(p *Pass, fn string, lhs ast.Expr) {
 		return
 	}
 	if v.Parent() == v.Pkg().Scope() {
-		p.Reportf(lhs.Pos(),
-			"compute-plane function %s writes package-level variable %s; pool workers share it, so results would depend on pool scheduling",
-			fn, v.Name())
+		c.report(lhs.Pos(),
+			"compute-plane function %s writes package-level variable %s; pool workers share it, so results would depend on pool scheduling%s",
+			c.fn, v.Name(), c.chain)
 	}
 }

@@ -1,0 +1,61 @@
+// Package hot exercises the hotpath allocation checks: constructs that
+// allocate per record are flagged inside //approx:hotpath functions
+// and ignored everywhere else.
+package hot
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type rec struct {
+	Key string
+	Val []byte
+}
+
+// format is per-record hot: every construct below allocates once per
+// loop iteration.
+//
+//approx:hotpath
+func format(recs []rec, buf []byte) []byte {
+	for _, r := range recs {
+		s := r.Key + "!"                      // want: hotpath
+		v := string(r.Val)                    // want: hotpath
+		m := map[string]int{"n": len(v)}      // want: hotpath
+		parts := []string{s}                  // want: hotpath
+		f := func() int { return len(r.Key) } // want: hotpath
+		extra := append(buf, r.Val...)        // want: hotpath
+		_, _, _ = m, parts, extra
+		_ = f
+		buf = append(buf, r.Key...) // hinted append: sanctioned
+	}
+	return buf
+}
+
+// report is hot and calls fmt, which is flagged anywhere in the body,
+// not just inside loops.
+//
+//approx:hotpath
+func report(n int) string {
+	return fmt.Sprintf("n=%d", n) // want: hotpath
+}
+
+// sink accepts boxed values.
+type sink interface{ accept(any) }
+
+// box passes a concrete struct to an interface parameter, which heap-
+// allocates the copy at every call.
+//
+//approx:hotpath
+func box(s sink, r rec) {
+	s.accept(r) // want: hotpath
+}
+
+// cold is unmarked: the identical constructs carry no finding.
+func cold(recs []rec) string {
+	out := ""
+	for _, r := range recs {
+		out += r.Key + ","
+	}
+	return strconv.Itoa(len(out)) + out
+}

@@ -30,27 +30,27 @@ var totalPairs int
 
 //approx:compute
 func run(job *Job, t *tracker) float64 {
-	totalPairs++   // want: sharedstate
-	m := job.Meter // want: sharedstate
-	m.Charge(1)
+	totalPairs++   // want: sharedstate purity
+	m := job.Meter // want: sharedstate purity
+	m.Charge(1)    // want: purity
 	return helper(t) + pooled() + float64(job.Seed)
 }
 
 // pooled is reachable from run: sync.Pool hands buffers out in
 // goroutine-scheduling order, so every use is a determinism leak.
 func pooled() float64 {
-	var bufPool sync.Pool                                     // want: sharedstate
-	bufPool.Put(make([]byte, 0, 8))                           // want: sharedstate
-	buf, _ := bufPool.Get().([]byte)                          // want: sharedstate
-	shared := &sync.Pool{New: func() any { return new(int) }} // want: sharedstate
+	var bufPool sync.Pool                                     // want: sharedstate purity
+	bufPool.Put(make([]byte, 0, 8))                           // want: sharedstate purity
+	buf, _ := bufPool.Get().([]byte)                          // want: sharedstate purity
+	shared := &sync.Pool{New: func() any { return new(int) }} // want: sharedstate purity
 	_ = shared
 	return float64(len(buf))
 }
 
 // helper is reachable from run, so the compute contract extends here.
 func helper(t *tracker) float64 {
-	t.launched++       // want: sharedstate
-	return t.eng.Now() // want: sharedstate sharedstate
+	t.launched++       // want: sharedstate purity
+	return t.eng.Now() // want: sharedstate sharedstate purity purity
 }
 
 // unmarked is NOT reachable from a compute root: the same accesses are

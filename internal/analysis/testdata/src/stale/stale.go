@@ -1,0 +1,22 @@
+// Package stale exercises stale-suppression detection: the first
+// directive suppresses a real finding and stays silent, the second
+// suppresses nothing and is reported when StaleIgnores is on.
+package stale
+
+import "math/rand"
+
+// draw uses the global rand source; the directive keeps the finding
+// suppressed, so it is live.
+func draw() float64 {
+	//lint:ignore seededrand fixture exercises a live suppression
+	return rand.Float64()
+}
+
+// clean carries a directive with nothing left to suppress.
+func clean() int {
+	//lint:ignore nopanic nothing here panics anymore
+	return 1
+}
+
+var _ = draw
+var _ = clean

@@ -27,6 +27,8 @@ type ApproxTextInput struct{}
 // reader supports pull mode (Next, durable records) and push mode
 // (Push, zero-copy records over the block's line backing); both draw
 // the identical per-line sample decisions from the same seeded RNG.
+//
+//approx:compute
 func (ApproxTextInput) Open(b *dfs.Block, sampleRatio float64, seed int64) (mapreduce.RecordReader, error) {
 	if b == nil {
 		return nil, fmt.Errorf("approx: nil block")
@@ -64,6 +66,8 @@ func (r *samplingReader) SetBuffers(l *mapreduce.BufList) { r.bufs = l }
 
 // key formats the record key for the given record index into keyBuf and
 // returns a view of it, valid until the next call.
+//
+//approx:hotpath
 func (r *samplingReader) key(idx int64) []byte {
 	if r.keyBuf == nil {
 		min := len(r.keyPrefix) + 20
@@ -81,6 +85,8 @@ func (r *samplingReader) key(idx int64) []byte {
 // sampleLine accounts one scanned line and reports whether it is in the
 // sample. Skipped lines still count toward Items and Bytes — and toward
 // the metered read cost — because the block is read in full either way.
+//
+//approx:hotpath
 func (r *samplingReader) sampleLine(n int64, units, bytes *int64) bool {
 	r.m.Items++
 	r.m.Bytes += n + 1
@@ -94,6 +100,8 @@ func (r *samplingReader) sampleLine(n int64, units, bytes *int64) bool {
 }
 
 // Next scans forward to the next sampled line.
+//
+//approx:compute
 func (r *samplingReader) Next() (mapreduce.Record, bool, error) {
 	if r.scan == nil {
 		r.rc = r.block.Open()
@@ -131,6 +139,9 @@ func newLineScanner(rd io.Reader) *bufio.Scanner {
 // units/bytes accumulating into the segment's End — so virtual timings
 // are bit-identical across modes. Record Key/Value are views of
 // reusable buffers, valid only inside fn.
+//
+//approx:compute
+//approx:hotpath
 func (r *samplingReader) Push(fn func(rec mapreduce.Record)) (bool, error) {
 	if !r.block.CanYieldLines() {
 		return false, nil
@@ -158,6 +169,7 @@ func (r *samplingReader) Push(fn func(rec mapreduce.Record)) (bool, error) {
 	}
 	r.m.ReadSecs += r.meter.End(vtime.OpRead, units, bytes)
 	if err != nil {
+		//lint:ignore hotpath error path, taken at most once per block
 		return true, fmt.Errorf("approx: reading %s: %w", r.keyPrefix, err)
 	}
 	return true, nil
@@ -165,6 +177,7 @@ func (r *samplingReader) Push(fn func(rec mapreduce.Record)) (bool, error) {
 
 func (r *samplingReader) Measure() mapreduce.ReaderMeasure { return r.m }
 
+//approx:compute
 func (r *samplingReader) Close() error {
 	if r.bufs != nil && r.keyBuf != nil {
 		r.bufs.Put(r.keyBuf)

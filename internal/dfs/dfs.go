@@ -36,8 +36,14 @@ type Block struct {
 	Size     int64 // byte size (exact for byte-backed, estimated for generated)
 	Items    int64 // number of records, if known up front (0 = unknown)
 	Replicas []string
-	open     func() io.ReadCloser
-	lines    func(carry []byte, fn func(line []byte) error) ([]byte, error)
+	// open and lines run on compute-plane workers (map attempts read
+	// blocks concurrently with the scheduler); implementations must be
+	// pure functions of the block content.
+	//
+	//approx:pure
+	open func() io.ReadCloser
+	//approx:pure
+	lines func(carry []byte, fn func(line []byte) error) ([]byte, error)
 }
 
 // Open returns a reader over the block's raw bytes.

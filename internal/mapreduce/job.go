@@ -43,10 +43,14 @@ type Job struct {
 	Format InputFormat
 
 	// NewMapper builds one Mapper per map task attempt.
+	//
+	//approx:pure
 	NewMapper func() Mapper
 	// NewMapperFor, when set, overrides NewMapper with a per-task
 	// factory. This is how user-defined approximation selects between
 	// precise and approximate map variants per task.
+	//
+	//approx:pure
 	NewMapperFor func(taskID int) Mapper
 	// NewReduce builds the ReduceLogic for each reduce partition.
 	NewReduce func(partition int) ReduceLogic

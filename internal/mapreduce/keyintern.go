@@ -55,6 +55,8 @@ func newKeyTable(reduces, hint int) *keyTable {
 // Intern returns the ID and reduce partition for key, assigning both on
 // first sight. The key argument may be a transient buffer view; the
 // stored copy is arena-backed and durable.
+//
+//approx:hotpath
 func (t *keyTable) Intern(key string) (id, part int32) {
 	if id, ok := t.ids[key]; ok {
 		return id, t.parts[id]
@@ -73,6 +75,8 @@ func (t *keyTable) Intern(key string) (id, part int32) {
 // rewritten: the chunk only grows by appending past the copy, and a
 // full chunk is abandoned (kept alive by the strings into it) rather
 // than reused.
+//
+//approx:hotpath
 func (t *keyTable) copyKey(key string) string {
 	if len(key) > keyArenaChunk {
 		return string(append([]byte(nil), key...))

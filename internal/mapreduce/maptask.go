@@ -103,6 +103,9 @@ func newMapEmitter(reduces int, combine, legacy bool, meter vtime.Meter, pairsHi
 // buffer (the push-mode record contract): the interner copies it on
 // first sight, and the legacy path only runs with pull-mode readers
 // whose records are durable.
+//
+//approx:compute
+//approx:hotpath
 func (e *mapEmitter) Emit(key string, value float64) {
 	e.pairs++
 	if e.intern != nil {
@@ -131,6 +134,8 @@ func (e *mapEmitter) Emit(key string, value float64) {
 // ChargeCompute implements vtime.Charger: user map kernels declare
 // their inner-loop work so the meter can attribute compute time
 // deterministically.
+//
+//approx:compute
 func (e *mapEmitter) ChargeCompute(units float64) { e.meter.Charge(units) }
 
 // executeMap runs one map task attempt in-process: it opens the block

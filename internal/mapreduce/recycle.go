@@ -44,6 +44,8 @@ func (l *BufList) Put(b []byte) {
 // working buffers (line carry, key scratch) from an attempt-owned free
 // list instead of allocating their own. The framework injects the
 // attempt's list right after InputFormat.Open, alongside SetMeter.
+//
+//approx:pure
 type BufferLender interface {
 	SetBuffers(l *BufList)
 }

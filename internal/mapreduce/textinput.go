@@ -22,6 +22,8 @@ type TextInputFormat struct{}
 // callers) and push (Push, zero-copy records over the block's line
 // backing — no pipe goroutine, no scanner copy, no per-record string
 // allocations).
+//
+//approx:compute
 func (TextInputFormat) Open(b *dfs.Block, _ float64, _ int64) (RecordReader, error) {
 	if b == nil {
 		return nil, fmt.Errorf("mapreduce: nil block")
@@ -65,6 +67,8 @@ func (t *textReader) SetBuffers(l *BufList) { t.bufs = l }
 
 // key formats the record key for the given record index into keyBuf and
 // returns a view of it, valid until the next call.
+//
+//approx:hotpath
 func (t *textReader) key(idx int64) []byte {
 	if t.keyBuf == nil {
 		min := len(t.keyPrefix) + 20 // prefix + widest int64 digits
@@ -79,6 +83,7 @@ func (t *textReader) key(idx int64) []byte {
 	return t.keyBuf
 }
 
+//approx:compute
 func (t *textReader) Next() (Record, bool, error) {
 	if t.scan == nil {
 		t.rc = t.block.Open()
@@ -106,6 +111,9 @@ func (t *textReader) Next() (Record, bool, error) {
 // final End(OpRead, 0, 0) at EOF — replicates the Next loop exactly, so
 // virtual timings are bit-identical across modes. Record Key/Value are
 // views of reusable buffers, valid only inside fn.
+//
+//approx:compute
+//approx:hotpath
 func (t *textReader) Push(fn func(rec Record)) (bool, error) {
 	if !t.block.CanYieldLines() {
 		return false, nil
@@ -128,6 +136,7 @@ func (t *textReader) Push(fn func(rec Record)) (bool, error) {
 		t.bufs.Put(carry)
 	}
 	if err != nil {
+		//lint:ignore hotpath error path, taken at most once per block
 		return true, fmt.Errorf("mapreduce: reading %s: %w", t.keyPrefix, err)
 	}
 	t.meter.Begin(vtime.OpRead)
@@ -137,6 +146,7 @@ func (t *textReader) Push(fn func(rec Record)) (bool, error) {
 
 func (t *textReader) Measure() ReaderMeasure { return t.m }
 
+//approx:compute
 func (t *textReader) Close() error {
 	if t.bufs != nil && t.keyBuf != nil {
 		t.bufs.Put(t.keyBuf)

@@ -45,12 +45,16 @@ type Record struct {
 }
 
 // Emitter receives intermediate pairs from a map function.
+//
+//approx:pure
 type Emitter interface {
 	Emit(key string, value float64)
 }
 
 // Mapper is user map() code. One instance is created per map task, so
 // implementations may keep per-task state without synchronization.
+//
+//approx:pure
 type Mapper interface {
 	Map(rec Record, emit Emitter)
 }
@@ -73,12 +77,16 @@ type ReaderMeasure struct {
 // cost against a compute meter. The framework injects the job's meter
 // right after InputFormat.Open; readers fall back to a private
 // deterministic meter when used standalone.
+//
+//approx:pure
 type MeterSetter interface {
 	SetMeter(m vtime.Meter)
 }
 
 // RecordReader iterates over the records of one block, possibly
 // returning only a sample of them.
+//
+//approx:pure
 type RecordReader interface {
 	// Next returns the next record; ok=false signals the end of the
 	// block (after which Measure totals are final).
@@ -93,6 +101,8 @@ type RecordReader interface {
 // sampling-aware format to return roughly that fraction of records;
 // precise formats process everything regardless (and should be paired
 // with ratio 1). seed makes sampling deterministic per task attempt.
+//
+//approx:pure
 type InputFormat interface {
 	Open(b *dfs.Block, sampleRatio float64, seed int64) (RecordReader, error)
 }
@@ -105,6 +115,8 @@ type InputFormat interface {
 // two paths charge identical seconds. Push returns ok=false without
 // consuming anything when the underlying block has no line-yielding
 // backing; the caller then falls back to the Next loop.
+//
+//approx:pure
 type RecordPusher interface {
 	Push(fn func(rec Record)) (ok bool, err error)
 }
@@ -173,6 +185,8 @@ func (o *MapOutput) PairLen() int {
 // EachPair calls fn for every raw pair in shuffle (emit) order. Keys
 // handed to fn are durable — interned arena strings or the original KV
 // keys — so reducers may retain them without copying.
+//
+//approx:hotpath
 func (o *MapOutput) EachPair(fn func(key string, value float64)) {
 	if o.keys != nil {
 		for _, p := range o.run {
@@ -189,6 +203,8 @@ func (o *MapOutput) EachPair(fn func(key string, value float64)) {
 // output. Arena outputs iterate in first-emit order (deterministic);
 // legacy map outputs iterate in Go map order, which reducers must not
 // depend on (per-key aggregation is order-free). Keys are durable.
+//
+//approx:hotpath
 func (o *MapOutput) EachCombined(fn func(key string, rs stats.RunningStat)) {
 	if o.keys != nil {
 		for _, id := range o.combIDs {

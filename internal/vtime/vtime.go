@@ -38,6 +38,8 @@ const (
 // operation did (record and byte counts) and returns the seconds to
 // charge. User code may add explicit work via Charge between Begin and
 // End of the enclosing op.
+//
+//approx:pure
 type Meter interface {
 	// Begin marks the start of one operation of class op.
 	Begin(op Op)

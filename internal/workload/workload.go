@@ -34,11 +34,22 @@ type intSource = dfs.RandSource
 // flush it line by line, producing byte-identical output.
 type lineBuf []byte
 
-func (b *lineBuf) reset()        { *b = (*b)[:0] }
-func (b *lineBuf) str(s string)  { *b = append(*b, s...) }
-func (b *lineBuf) byte(c byte)   { *b = append(*b, c) }
-func (b *lineBuf) int(v int64)   { *b = strconv.AppendInt(*b, v, 10) }
+//approx:hotpath
+func (b *lineBuf) reset() { *b = (*b)[:0] }
+
+//approx:hotpath
+func (b *lineBuf) str(s string) { *b = append(*b, s...) }
+
+//approx:hotpath
+func (b *lineBuf) byte(c byte) { *b = append(*b, c) }
+
+//approx:hotpath
+func (b *lineBuf) int(v int64) { *b = strconv.AppendInt(*b, v, 10) }
+
+//approx:hotpath
 func (b *lineBuf) uint(v uint64) { *b = strconv.AppendUint(*b, v, 10) }
+
+//approx:hotpath
 func (b *lineBuf) flush(w io.Writer) error {
 	_, err := w.Write(*b)
 	return err
@@ -64,7 +75,10 @@ func DefaultWikiDump() WikiDump {
 	return WikiDump{Blocks: 161, ArticlesPerBlock: 2000, LinkUniverse: 20000, MeanLinks: 8, Seed: 1}
 }
 
-// File materializes the dump as a generated dfs file.
+// File materializes the dump as a generated dfs file. The generator
+// literal runs once per block read, per line — hot-path rules apply.
+//
+//approx:hotpath
 func (w WikiDump) File(name string) *dfs.File {
 	if w.Blocks <= 0 {
 		w.Blocks = 1
@@ -191,7 +205,10 @@ func ScaledAccessLog(days, blocksPerDay, linesPerBlock int, seed int64) AccessLo
 	}
 }
 
-// File materializes the log as a generated dfs file.
+// File materializes the log as a generated dfs file. The generator
+// literal runs once per block read, per line — hot-path rules apply.
+//
+//approx:hotpath
 func (a AccessLog) File(name string) *dfs.File {
 	if a.Blocks <= 0 {
 		a.Blocks = 1
@@ -308,7 +325,10 @@ func hourWeight(hourOfWeek int) float64 {
 	return w
 }
 
-// File materializes the web log as a generated dfs file.
+// File materializes the web log as a generated dfs file. The generator
+// literal runs once per block read, per line — hot-path rules apply.
+//
+//approx:hotpath
 func (w WebLog) File(name string) *dfs.File {
 	if w.Blocks <= 0 {
 		w.Blocks = 1

@@ -6,10 +6,14 @@
 //	approxctl [-addr URL] <command> [flags]
 //
 //	approxctl submit -app total-size -controller static -sample 0.25
+//	approxctl submit -app clients -key billing-2026-08  # idempotent submit
 //	approxctl status                 # list all jobs
 //	approxctl status job-0000        # one job
 //	approxctl watch job-0000         # follow the early-result stream
 //	approxctl result job-0000
+//	approxctl await job-0000         # block until terminal, fail unless done
+//	approxctl verify job-0000        # served result must be byte-identical
+//	                                 # to a direct local run of its spec
 //	approxctl cancel job-0000
 //	approxctl stats
 //	approxctl replay -n 50 -seed 42  # run a seeded trace via /v1/replay
@@ -18,8 +22,16 @@
 //	                                 # converge to the final result, and the
 //	                                 # final matches a direct local run
 //
-// smoke exits nonzero on any divergence; CI runs it against a freshly
-// started approxd.
+// Transient failures retry with seeded exponential backoff (-retries,
+// -retry-seed): GETs and cancels always, submissions only when they
+// carry an idempotency key (-key) — a keyed retry can never double-run
+// a job, even across a daemon crash and restart, because approxd
+// journals the key with the spec. Interrupted streams reconnect and
+// resume from the last seen sequence number.
+//
+// smoke and verify exit nonzero on any divergence; CI runs them
+// against freshly started (and, for the chaos job, kill -9'd and
+// restarted) approxd instances.
 package main
 
 import (
@@ -30,29 +42,34 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"reflect"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"approxhadoop/internal/jobserver"
 	"approxhadoop/internal/mapreduce"
+	"approxhadoop/internal/stats"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: approxctl [-addr URL] {submit|status|result|cancel|watch|stats|replay|loadgen|smoke} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: approxctl [-addr URL] [-retries N] {submit|status|result|await|verify|cancel|watch|stats|replay|loadgen|smoke} [flags]")
 	os.Exit(2)
 }
 
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:7070", "approxd base URL")
+	retries := flag.Int("retries", 4, "retry budget for transient failures (connection errors, 429/503)")
+	retrySeed := flag.Int64("retry-seed", 1, "seed for backoff jitter, so retry schedules are reproducible")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		usage()
 	}
-	c := &client{base: *addr}
+	c := &client{base: *addr, retries: *retries, rng: stats.NewRand(*retrySeed)}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	var err error
 	switch cmd {
@@ -62,6 +79,10 @@ func main() {
 		err = cmdStatus(c, args)
 	case "result":
 		err = cmdResult(c, args)
+	case "await":
+		err = cmdAwait(c, args)
+	case "verify":
+		err = cmdVerify(c, args)
 	case "cancel":
 		err = cmdCancel(c, args)
 	case "watch":
@@ -83,18 +104,93 @@ func main() {
 	}
 }
 
-// client is a thin JSON-over-HTTP wrapper around the approxd API.
-type client struct{ base string }
+// client is a JSON-over-HTTP wrapper around the approxd API with
+// seeded-backoff retries for transient failures.
+type client struct {
+	base    string
+	retries int
 
-// apiError is the daemon's {"error": ...} payload with its HTTP status.
+	// rng drives backoff jitter; loadgen/smoke retry from many
+	// goroutines, so draws are mutex-guarded.
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// apiError is the daemon's {"error": ...} payload with its HTTP status
+// and any Retry-After hint.
 type apiError struct {
-	Code int
-	Msg  string
+	Code       int
+	Msg        string
+	RetryAfter time.Duration
 }
 
 func (e *apiError) Error() string { return fmt.Sprintf("HTTP %d: %s", e.Code, e.Msg) }
 
+// drainClose discards a response's unread body and closes it, so the
+// keep-alive connection is reusable. Errors are reported to stderr —
+// there is no caller decision to change, but they should not vanish.
+// The drain is bounded: error paths may abandon a still-streaming body,
+// and reading it to completion could mean waiting out the whole job.
+func drainClose(resp *http.Response) {
+	if _, err := io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20)); err != nil {
+		fmt.Fprintf(os.Stderr, "approxctl: draining response body: %v\n", err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "approxctl: closing response body: %v\n", err)
+	}
+}
+
+// retriable reports whether err is worth retrying: connection-level
+// failures (the daemon may be mid-restart) and explicit backpressure
+// (429 queue-full, 503 draining), never other API errors — a 400 or
+// 404 will not improve with patience.
+func retriable(err error) bool {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.Code == http.StatusTooManyRequests || ae.Code == http.StatusServiceUnavailable
+	}
+	return err != nil
+}
+
+// backoff returns the pause before retry `attempt`: exponential from
+// 50 ms capped at 2 s, scaled by seeded jitter in [0.5, 1.0], and
+// floored by any server-provided Retry-After.
+func (c *client) backoff(attempt int, err error) time.Duration {
+	d := 50 * time.Millisecond
+	for i := 0; i < attempt && d < 2*time.Second; i++ {
+		d *= 2
+	}
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	c.mu.Lock()
+	jitter := 0.5 + 0.5*c.rng.Float64()
+	c.mu.Unlock()
+	d = time.Duration(float64(d) * jitter)
+	var ae *apiError
+	if errors.As(err, &ae) && ae.RetryAfter > d {
+		d = ae.RetryAfter
+	}
+	return d
+}
+
 func (c *client) do(method, path string, in, out any) error {
+	// GETs and DELETEs (cancel) are idempotent by construction; POSTs
+	// must opt in via doRetriable.
+	return c.doRetry(method, path, in, out, method != http.MethodPost)
+}
+
+func (c *client) doRetry(method, path string, in, out any, canRetry bool) error {
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(method, path, in, out)
+		if err == nil || !canRetry || attempt >= c.retries || !retriable(err) {
+			return err
+		}
+		time.Sleep(c.backoff(attempt, err))
+	}
+}
+
+func (c *client) doOnce(method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		buf, err := json.Marshal(in)
@@ -114,15 +210,9 @@ func (c *client) do(method, path string, in, out any) error {
 	if err != nil {
 		return err
 	}
-	//lint:ignore errcheck response-body close on a drained GET has nothing actionable to report
-	defer resp.Body.Close()
+	defer drainClose(resp)
 	if resp.StatusCode >= 400 {
-		var msg struct {
-			Error string `json:"error"`
-		}
-		//lint:ignore errcheck a bare status code is an acceptable fallback when the body is not our JSON
-		_ = json.NewDecoder(resp.Body).Decode(&msg)
-		return &apiError{Code: resp.StatusCode, Msg: msg.Error}
+		return apiErrorFrom(resp)
 	}
 	if out != nil {
 		return json.NewDecoder(resp.Body).Decode(out)
@@ -130,9 +220,37 @@ func (c *client) do(method, path string, in, out any) error {
 	return nil
 }
 
-func (c *client) get(path string, out any) error  { return c.do(http.MethodGet, path, nil, out) }
+// apiErrorFrom builds an apiError from an error response, tolerating
+// non-JSON bodies (a bare status code is an acceptable fallback).
+func apiErrorFrom(resp *http.Response) *apiError {
+	ae := &apiError{Code: resp.StatusCode}
+	var msg struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&msg); err == nil {
+		ae.Msg = msg.Error
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		ae.RetryAfter = time.Duration(secs) * time.Second
+	}
+	return ae
+}
+
+func (c *client) get(path string, out any) error { return c.do(http.MethodGet, path, nil, out) }
 func (c *client) post(path string, in, out any) error {
 	return c.do(http.MethodPost, path, in, out)
+}
+
+// submit POSTs one spec. Keyed submissions retry freely — the daemon
+// deduplicates by the journaled idempotency key, so a retry that races
+// a crash can at worst be answered with the original job's id.
+func (c *client) submit(spec jobserver.JobSpec) (id string, held int, err error) {
+	var resp struct {
+		ID   string `json:"id"`
+		Held int    `json:"held"`
+	}
+	err = c.doRetry(http.MethodPost, "/v1/jobs", spec, &resp, spec.IdempotencyKey != "")
+	return resp.ID, resp.Held, err
 }
 
 // specFlags registers the JobSpec surface on fs and returns a builder.
@@ -150,6 +268,7 @@ func specFlags(fs *flag.FlagSet) func() jobserver.JobSpec {
 	fs.Float64Var(&s.Target, "target", 0, "target: relative error bound")
 	fs.Float64Var(&s.Deadline, "deadline", 0, "deadline: SLO in virtual seconds")
 	fs.BoolVar(&s.BestEffort, "best-effort", false, "deadline: degrade instead of failing on overrun")
+	fs.StringVar(&s.IdempotencyKey, "key", "", "idempotency key: duplicate submissions (and blind retries) return the original job")
 	return func() jobserver.JobSpec { return s }
 }
 
@@ -158,18 +277,15 @@ func cmdSubmit(c *client, args []string) error {
 	spec := specFlags(fs)
 	//lint:ignore errcheck ExitOnError flag sets never return an error
 	_ = fs.Parse(args)
-	var resp struct {
-		ID   string `json:"id"`
-		Held int    `json:"held"`
-	}
-	if err := c.post("/v1/jobs", spec(), &resp); err != nil {
+	id, held, err := c.submit(spec())
+	if err != nil {
 		return err
 	}
-	if resp.ID == "" {
-		fmt.Printf("held (%d parked; POST /v1/release to run)\n", resp.Held)
+	if id == "" {
+		fmt.Printf("held (%d parked; POST /v1/release to run)\n", held)
 		return nil
 	}
-	fmt.Println(resp.ID)
+	fmt.Println(id)
 	return nil
 }
 
@@ -237,6 +353,73 @@ func cmdResult(c *client, args []string) error {
 	return nil
 }
 
+// cmdAwait blocks until the job is terminal and fails unless it is
+// done — the scriptable "wait for my result" primitive the CI chaos
+// job leans on across a daemon restart (GET polls retry through the
+// outage automatically).
+func cmdAwait(c *client, args []string) error {
+	fs := flag.NewFlagSet("await", flag.ExitOnError)
+	timeout := fs.Duration("timeout", 2*time.Minute, "wall-clock budget")
+	//lint:ignore errcheck ExitOnError flag sets never return an error
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: approxctl await [-timeout d] <id>")
+	}
+	st, err := c.waitTerminal(fs.Arg(0), time.Now().Add(*timeout))
+	if err != nil {
+		return err
+	}
+	printState(st)
+	if st.Status != jobserver.StatusDone {
+		return fmt.Errorf("job %s finished %s: %s", st.ID, st.Status, st.Err)
+	}
+	return nil
+}
+
+// directOutputs runs a spec to completion on a private in-process
+// cluster and returns its wire-form outputs — the ground truth every
+// served result is compared against.
+func directOutputs(spec jobserver.JobSpec) ([]jobserver.WireEstimate, error) {
+	job, err := spec.Build(1)
+	if err != nil {
+		return nil, err
+	}
+	res, err := mapreduce.Run(jobserver.New(jobserver.Config{SnapshotEvery: -1}).Engine(), job)
+	if err != nil {
+		return nil, fmt.Errorf("direct run of %s: %w", spec.Name, err)
+	}
+	return jobserver.WireEstimates(res.Outputs), nil
+}
+
+// cmdVerify re-executes each job's served spec locally and requires
+// the served outputs to be byte-identical — (spec, seed) runs are
+// bit-exact regardless of scheduling, so this holds even for results
+// recovered from the journal after a kill -9. This is the client half
+// of the chaos gate.
+func cmdVerify(c *client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: approxctl verify <id>...")
+	}
+	for _, id := range args {
+		var st jobserver.WireState
+		if err := c.get("/v1/jobs/"+id, &st); err != nil {
+			return err
+		}
+		if st.Status != jobserver.StatusDone || st.Result == nil {
+			return fmt.Errorf("job %s is %s, nothing to verify: %s", id, st.Status, st.Err)
+		}
+		want, err := directOutputs(st.Spec)
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(st.Result.Outputs, want) {
+			return fmt.Errorf("job %s (%s): served outputs NOT byte-identical to a direct run of its spec", id, st.Spec.Name)
+		}
+		fmt.Printf("verified %s (%s): %d keys byte-identical to direct run\n", id, st.Spec.Name, len(st.Result.Outputs))
+	}
+	return nil
+}
+
 func cmdCancel(c *client, args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: approxctl cancel <id>")
@@ -248,16 +431,63 @@ func cmdCancel(c *client, args []string) error {
 	return nil
 }
 
+// callerErr wraps an error returned by a stream callback, so the
+// reconnect loop can tell "the caller aborted" from "the transport
+// died" — only the latter is retried.
+type callerErr struct{ err error }
+
+func (e callerErr) Error() string { return e.err.Error() }
+
 // streamFrames follows a job's JSONL stream, invoking fn per frame.
+// A dropped connection — including a daemon crash-and-restart, where
+// the recovered job re-emits the same deterministic snapshots —
+// reconnects with ?from=<lastSeq+1> and resumes without duplicating
+// frames. Any frame of progress refills the retry budget.
 func (c *client) streamFrames(id string, fn func(jobserver.WireFrame) error) error {
-	resp, err := http.Get(c.base + "/v1/jobs/" + id + "/stream")
+	last := -1 // highest Seq seen
+	sawTerminal := false
+	for attempt := 0; ; attempt++ {
+		err := c.streamOnce(id, last+1, func(f jobserver.WireFrame) error {
+			if f.Seq > last {
+				last = f.Seq
+			}
+			if f.Status.Terminal() {
+				sawTerminal = true
+			}
+			attempt = 0
+			if err := fn(f); err != nil {
+				return callerErr{err}
+			}
+			return nil
+		})
+		var ce callerErr
+		if errors.As(err, &ce) {
+			return ce.err
+		}
+		if err == nil {
+			if sawTerminal {
+				return nil
+			}
+			// A clean EOF without a terminal frame is a truncated
+			// stream (e.g. the server died between frames); resume.
+			err = fmt.Errorf("stream for %s ended before a terminal frame", id)
+		}
+		if attempt >= c.retries || !retriable(err) {
+			return err
+		}
+		time.Sleep(c.backoff(attempt, err))
+	}
+}
+
+// streamOnce runs one connection's worth of frames through fn.
+func (c *client) streamOnce(id string, from int, fn func(jobserver.WireFrame) error) error {
+	resp, err := http.Get(c.base + "/v1/jobs/" + id + "/stream?from=" + strconv.Itoa(from))
 	if err != nil {
 		return err
 	}
-	//lint:ignore errcheck response-body close on a drained GET has nothing actionable to report
-	defer resp.Body.Close()
+	defer drainClose(resp)
 	if resp.StatusCode != http.StatusOK {
-		return &apiError{Code: resp.StatusCode, Msg: "stream unavailable"}
+		return apiErrorFrom(resp)
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
@@ -376,14 +606,12 @@ func cmdLoadgen(c *client, args []string) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var resp struct {
-				ID string `json:"id"`
-			}
-			if err := c.post("/v1/jobs", spec, &resp); err != nil {
+			id, _, err := c.submit(spec)
+			if err != nil {
 				errs[i] = err
 				return
 			}
-			ids[i] = resp.ID
+			ids[i] = id
 		}()
 	}
 	wg.Wait()
@@ -461,16 +689,14 @@ func cmdSmoke(c *client, args []string) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var resp struct {
-				ID string `json:"id"`
-			}
-			if err := c.post("/v1/jobs", spec, &resp); err != nil {
+			id, _, err := c.submit(spec)
+			if err != nil {
 				mu.Lock()
 				submitErr = fmt.Errorf("submit %s: %w", spec.Name, err)
 				mu.Unlock()
 				return
 			}
-			ids[i] = resp.ID
+			ids[i] = id
 		}()
 	}
 	wg.Wait()

@@ -4,10 +4,20 @@
 // early-result snapshots whose confidence intervals narrow wave by
 // wave.
 //
+// With -journal the daemon is crash-safe: every accepted submission is
+// fsynced to an append-only JSONL write-ahead log before it is
+// acknowledged, and on startup the journal is replayed — completed
+// jobs are restored verbatim, interrupted ones are re-admitted in
+// their original order and re-executed bit-identically from their
+// recorded spec + seed. SIGTERM drains gracefully: new submissions get
+// 503 + Retry-After, running jobs finish, queued jobs stay journaled
+// for the next boot.
+//
 // Usage:
 //
 //	approxd                                  # FIFO on 127.0.0.1:7070
 //	approxd -policy fair -max-active 16
+//	approxd -journal /var/lib/approxd/wal.jsonl
 //	approxd -hold                            # park submissions; POST /v1/release replays
 //	                                         # the batch deterministically
 //
@@ -18,30 +28,36 @@
 //	GET    /v1/jobs/{id}          one job's state
 //	DELETE /v1/jobs/{id}          cancel
 //	GET    /v1/jobs/{id}/result   final result
-//	GET    /v1/jobs/{id}/stream   JSONL early-result stream
+//	GET    /v1/jobs/{id}/stream   JSONL early-result stream (?from=N resumes)
 //	POST   /v1/replay             run a whole []JobSpec trace
 //	POST   /v1/release            release held submissions
 //	GET    /v1/stats              service counters
+//	GET    /healthz               liveness (503 after a journal failure)
+//	GET    /readyz                readiness (503 while draining)
 package main
 
 import (
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
+	"time"
 
 	"approxhadoop/internal/jobserver"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:7070", "listen address")
-		policy    = flag.String("policy", "fifo", "map-slot arbitration between jobs: fifo | fair")
-		maxActive = flag.Int("max-active", 8, "max concurrently running jobs")
-		maxQueue  = flag.Int("max-queue", 64, "admission queue depth before 429s")
-		snapshot  = flag.Float64("snapshot-every", 40, "virtual seconds between streamed snapshots (<0 disables)")
-		workers   = flag.Int("workers", 0, "per-job map-compute pool size (0 = GOMAXPROCS); results are identical for any value")
-		hold      = flag.Bool("hold", false, "park submissions until POST /v1/release, then replay the sorted batch deterministically")
+		addr       = flag.String("addr", "127.0.0.1:7070", "listen address")
+		policy     = flag.String("policy", "fifo", "map-slot arbitration between jobs: fifo | fair")
+		maxActive  = flag.Int("max-active", 8, "max concurrently running jobs")
+		maxQueue   = flag.Int("max-queue", 64, "admission queue depth before 429s")
+		snapshot   = flag.Float64("snapshot-every", 40, "virtual seconds between streamed snapshots (<0 disables)")
+		workers    = flag.Int("workers", 0, "per-job map-compute pool size (0 = GOMAXPROCS); results are identical for any value")
+		hold       = flag.Bool("hold", false, "park submissions until POST /v1/release, then replay the sorted batch deterministically")
+		journal    = flag.String("journal", "", "write-ahead journal path; enables crash-safe recovery (empty = off)")
+		grace      = flag.Duration("grace", 10*time.Second, "SIGTERM drain grace for running jobs")
+		reqTimeout = flag.Duration("request-timeout", 10*time.Second, "per-request timeout for quick endpoints (negative disables)")
+		maxBody    = flag.Int64("max-body", 0, "max POST body bytes (0 = 4 MiB default)")
 	)
 	flag.Parse()
 
@@ -50,23 +66,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "approxd: %v\n", err)
 		os.Exit(2)
 	}
-	svc := jobserver.New(jobserver.Config{
-		Policy:        pol,
-		MaxActive:     *maxActive,
-		MaxQueue:      *maxQueue,
-		Workers:       *workers,
-		SnapshotEvery: *snapshot,
-	})
-	d := jobserver.NewDaemon(svc, *hold)
-	defer d.Stop()
-
 	mode := "live"
 	if *hold {
 		mode = "hold"
 	}
-	fmt.Fprintf(os.Stderr, "approxd: listening on %s (policy %s, %s mode, %d active / %d queued max)\n",
-		*addr, pol, mode, *maxActive, *maxQueue)
-	if err := http.ListenAndServe(*addr, d.Handler()); err != nil {
+	err = jobserver.Serve(jobserver.ServeConfig{
+		Addr: *addr,
+		Service: jobserver.Config{
+			Policy:        pol,
+			MaxActive:     *maxActive,
+			MaxQueue:      *maxQueue,
+			Workers:       *workers,
+			SnapshotEvery: *snapshot,
+		},
+		Hold:           *hold,
+		JournalPath:    *journal,
+		Grace:          *grace,
+		RequestTimeout: *reqTimeout,
+		MaxBody:        *maxBody,
+		OnReady: func(addr string, _ *jobserver.Daemon) {
+			fmt.Fprintf(os.Stderr, "approxd: serving on %s (policy %s, %s mode, %d active / %d queued max)\n",
+				addr, pol, mode, *maxActive, *maxQueue)
+		},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "approxd: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "approxd: %v\n", err)
 		os.Exit(1)
 	}

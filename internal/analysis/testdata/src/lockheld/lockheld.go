@@ -3,7 +3,10 @@
 // for loop, and inconsistent lock-acquisition order are flagged.
 package jobserver
 
-import "sync"
+import (
+	"os"
+	"sync"
+)
 
 type svc struct {
 	mu   sync.Mutex
@@ -91,4 +94,40 @@ func (s *svc) callback(v int) func() {
 	fn := func() { s.jobs <- v }
 	s.mu.Unlock()
 	return fn
+}
+
+// journal mimics the write-ahead log: Commit performs file I/O
+// (fsync), which must never run under the service mutex — the
+// production journal discipline releases mu before every append or
+// commit.
+type journal struct {
+	f *os.File
+}
+
+func (j *journal) commit() error {
+	return j.f.Sync()
+}
+
+// flushUnderLock commits the journal while holding mu: every
+// submitter and streamer stalls behind the disk.
+func (s *svc) flushUnderLock(j *journal) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.commit() // want: lockheld
+}
+
+// syncUnderLock is the direct form: the fsync itself sits under mu.
+func (s *svc) syncUnderLock(f *os.File) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return f.Sync() // want: lockheld
+}
+
+// flushAfterUnlock is the compliant journal discipline: mutate state
+// under the lock, release, then do the I/O.
+func (s *svc) flushAfterUnlock(j *journal) error {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	return j.commit()
 }

@@ -3,6 +3,7 @@ package jobserver
 import (
 	"errors"
 	"sync"
+	"time"
 )
 
 // ErrClosed is returned for operations on a stopped daemon.
@@ -29,6 +30,13 @@ type Daemon struct {
 	stop chan struct{}
 	done chan struct{}
 	once sync.Once
+
+	// RequestTimeout bounds quick HTTP endpoints via
+	// http.TimeoutHandler (0 = unlimited); MaxBody bounds POST request
+	// bodies via http.MaxBytesReader (0 = the 4 MiB default). Set both
+	// before Handler is called; see Handler for the exempt endpoints.
+	RequestTimeout time.Duration
+	MaxBody        int64
 
 	// Driver-goroutine state for hold mode.
 	holding bool
@@ -68,6 +76,10 @@ func (d *Daemon) loop() {
 			if d.svc.eng.Step() {
 				continue
 			}
+			// Idle engine: a quiescent point — every buffered journal
+			// record (admissions, completions) describes settled state,
+			// so group-commit them before blocking for new work.
+			d.svc.journalQuiesce()
 			select {
 			case fn := <-d.cmds:
 				fn()
@@ -101,6 +113,43 @@ func (d *Daemon) Stop() {
 		<-d.done
 		d.svc.Close()
 	})
+}
+
+// Drain begins a graceful shutdown: new submissions fail with
+// ErrDraining (HTTP 503 + Retry-After), queued jobs stop being
+// admitted — their journaled submit records carry them to the next
+// boot — and running jobs get up to grace wall-clock time to finish
+// (virtual time runs as fast as the driver can pump it, so this is
+// normally milliseconds). It returns true when the cluster went quiet,
+// false on grace expiry; either way buffered journal records have been
+// committed. Call Stop afterwards.
+func (d *Daemon) Drain(grace time.Duration) bool {
+	d.svc.StartDrain()
+	deadline := time.Now().Add(grace)
+	finished := false
+	for {
+		var active int
+		if err := d.do(func() { active = d.svc.ActiveCount() }); err != nil {
+			return true // driver already stopped, nothing is running
+		}
+		if active == 0 {
+			finished = true
+			break
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Group-commit whatever the drain produced (terminal records for
+	// jobs that finished, nothing for the still-queued) so the journal
+	// is durable even if the process is killed before Stop.
+	if err := d.do(func() { d.svc.journalQuiesce() }); err != nil {
+		// Driver already stopped — svc.Close committed and closed the
+		// journal on that path.
+		return finished
+	}
+	return finished
 }
 
 // Submit admits one job (live mode) or parks it (hold mode, in which

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
 
 	"approxhadoop/internal/mapreduce"
 )
@@ -21,10 +22,13 @@ import (
 //	DELETE /v1/jobs/{id}     cancel
 //	GET    /v1/jobs/{id}/result   final result (409 until terminal)
 //	GET    /v1/jobs/{id}/stream   JSONL WireFrame stream: snapshots with
-//	                              narrowing CIs, last frame final=true
+//	                              narrowing CIs, last frame final=true;
+//	                              ?from=N resumes after sequence N-1
 //	POST   /v1/replay        run a whole trace ([]JobSpec), return states
 //	POST   /v1/release       release held submissions (hold mode)
 //	GET    /v1/stats         service counters
+//	GET    /healthz          liveness; 503 once the journal has failed
+//	GET    /readyz           readiness; 503 while draining (Retry-After)
 
 // WireEstimate is the JSON-safe form of one KeyEstimate.
 type WireEstimate struct {
@@ -59,8 +63,12 @@ type WireState struct {
 	Result   *WireResult `json:"result,omitempty"`
 }
 
-// WireFrame is one line of the streaming endpoint.
+// WireFrame is one line of the streaming endpoint. Seq is the frame's
+// position in the job's snapshot sequence; a client that loses its
+// connection reconnects with ?from=<lastSeq+1> and resumes without
+// duplicates, including across a daemon restart.
 type WireFrame struct {
+	Seq       int            `json:"seq"`
 	T         float64        `json:"t"` // virtual seconds since job start
 	Status    JobStatus      `json:"status"`
 	Final     bool           `json:"final,omitempty"`
@@ -131,19 +139,68 @@ func wireStates(sts []JobState) []WireState {
 	return out
 }
 
-// Handler returns the daemon's HTTP API.
+// Handler returns the daemon's HTTP API. Set RequestTimeout and
+// MaxBody on the Daemon before calling it to harden the request path;
+// both zero values leave behavior unlimited (handy in tests).
+//
+// The timeout wraps every quick endpoint with http.TimeoutHandler.
+// Exempt by design: /stream (open-ended long poll), /replay and
+// /release (synchronous batch runs whose duration is the work itself).
 func (d *Daemon) Handler() http.Handler {
+	quick := func(h http.HandlerFunc) http.Handler {
+		if d.RequestTimeout <= 0 {
+			return h
+		}
+		return http.TimeoutHandler(h, d.RequestTimeout, `{"error":"request timed out"}`)
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", d.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", d.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", d.handleGet)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", d.handleCancel)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", d.handleResult)
+	mux.Handle("POST /v1/jobs", quick(d.handleSubmit))
+	mux.Handle("GET /v1/jobs", quick(d.handleList))
+	mux.Handle("GET /v1/jobs/{id}", quick(d.handleGet))
+	mux.Handle("DELETE /v1/jobs/{id}", quick(d.handleCancel))
+	mux.Handle("GET /v1/jobs/{id}/result", quick(d.handleResult))
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", d.handleStream)
 	mux.HandleFunc("POST /v1/replay", d.handleReplay)
 	mux.HandleFunc("POST /v1/release", d.handleRelease)
-	mux.HandleFunc("GET /v1/stats", d.handleStats)
+	mux.Handle("GET /v1/stats", quick(d.handleStats))
+	mux.Handle("GET /healthz", quick(d.handleHealthz))
+	mux.Handle("GET /readyz", quick(d.handleReadyz))
 	return mux
+}
+
+// handleHealthz reports liveness: the process serves traffic and can
+// still promise durability. A journal I/O failure flips it to 503 so
+// an operator (or orchestrator) restarts the daemon onto a good disk.
+func (d *Daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if err := d.svc.JournalErr(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("journal failed: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "journaled": d.svc.Journaled()})
+}
+
+// handleReadyz reports readiness to accept new submissions: false
+// while draining (load balancers stop routing here; running jobs
+// finish undisturbed) or after a journal failure.
+func (d *Daemon) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if err := d.svc.JournalErr(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("journal failed: %w", err))
+		return
+	}
+	if d.svc.Draining() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// maxBody is the effective POST body bound.
+func (d *Daemon) maxBody() int64 {
+	if d.MaxBody > 0 {
+		return d.MaxBody
+	}
+	return 4 << 20 // default 4 MiB: a generous trace, not a DoS vector
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -159,13 +216,19 @@ func writeError(w http.ResponseWriter, code int, err error) {
 
 func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
-	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, d.maxBody())).Decode(&spec); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad spec: %w", err))
 		return
 	}
 	id, held, err := d.Submit(spec)
 	switch {
+	case errors.Is(err, ErrDraining):
+		// The daemon is shutting down gracefully; the journal keeps what
+		// it already accepted, new work must wait for the restart.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, err)
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
@@ -225,16 +288,31 @@ func (d *Daemon) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/jsonl")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the headers out before blocking for the first frame, so
+		// clients observe a connected stream even on an idle job.
+		flusher.Flush()
+	}
 	enc := json.NewEncoder(w)
 	cursor := 0
+	if from := r.URL.Query().Get("from"); from != "" {
+		// Reconnect resume: skip frames the client already has.
+		if n, err := strconv.Atoi(from); err == nil && n > 0 {
+			cursor = n
+		}
+	}
 	for {
 		fresh, status, next, err := d.svc.StreamFrom(id, cursor)
 		if err != nil {
 			return
 		}
 		terminal := status.Terminal()
+		// StreamFrom clamps an out-of-range resume cursor; renumber from
+		// the true position so Seq always matches the snapshot index.
+		cursor = next - len(fresh)
 		for i, snap := range fresh {
 			frame := WireFrame{
+				Seq:       cursor + i,
 				T:         snap.T,
 				Status:    status,
 				Final:     terminal && status == StatusDone && cursor+i == next-1,
@@ -250,10 +328,11 @@ func (d *Daemon) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		if terminal {
 			if len(fresh) == 0 {
-				// Failed/canceled before any snapshot: emit one
-				// terminal frame so clients always see an ending.
+				// Failed/canceled before any snapshot (or a resume that
+				// was already fully caught up): emit one terminal frame
+				// so clients always see an ending.
 				//lint:ignore errcheck the stream is ending either way
-				_ = enc.Encode(WireFrame{Status: status})
+				_ = enc.Encode(WireFrame{Seq: cursor, Status: status})
 				if flusher != nil {
 					flusher.Flush()
 				}
@@ -270,7 +349,7 @@ func (d *Daemon) handleStream(w http.ResponseWriter, r *http.Request) {
 
 func (d *Daemon) handleReplay(w http.ResponseWriter, r *http.Request) {
 	var specs []JobSpec
-	if err := json.NewDecoder(r.Body).Decode(&specs); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, d.maxBody())).Decode(&specs); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad trace: %w", err))
 		return
 	}

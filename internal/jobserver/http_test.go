@@ -17,7 +17,10 @@ func startDaemon(t *testing.T, cfg Config, hold bool) (*Daemon, *httptest.Server
 	t.Helper()
 	d := NewDaemon(New(cfg), hold)
 	ts := httptest.NewServer(d.Handler())
-	t.Cleanup(func() { ts.Close(); d.Stop() })
+	// Stop first: it closes the service, waking any handler blocked in
+	// StreamFrom, so the listener close (which waits for in-flight
+	// requests) cannot deadlock on a stuck stream.
+	t.Cleanup(func() { d.Stop(); ts.Close() })
 	return d, ts
 }
 

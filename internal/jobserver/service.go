@@ -13,6 +13,12 @@ import (
 // service's backpressure signal (HTTP maps it to 429).
 var ErrBusy = errors.New("jobserver: admission queue full, retry later")
 
+// ErrDraining is returned by Submit while the service is draining for
+// shutdown (HTTP maps it to 503 with a Retry-After header). Queued and
+// running jobs are unaffected; new work must go elsewhere or retry
+// after the restart.
+var ErrDraining = errors.New("jobserver: draining for shutdown, retry later")
+
 // Config sizes the service.
 type Config struct {
 	// Cluster describes the shared simulated cluster (zero value:
@@ -110,6 +116,16 @@ type Service struct {
 	seq           int
 	activeReduces int
 	kickQueued    bool
+	// journal, when set, write-ahead-logs every state transition. It is
+	// engine-goroutine state: appends and commits happen between engine
+	// events, never under mu (fsync under the service lock would stall
+	// every reader — the lockheld analyzer enforces this).
+	journal    *Journal
+	recovering bool
+	// idemp maps client idempotency keys to the job id that first
+	// claimed them; duplicate submissions are answered with the
+	// original job.
+	idemp map[string]string
 
 	// Cross-goroutine state.
 	mu                                   sync.Mutex
@@ -117,7 +133,10 @@ type Service struct {
 	states                               map[string]*JobState
 	order                                []string // submission order of IDs
 	closed                               bool
+	draining                             bool
+	journalErr                           error
 	nDone, nFailed, nCanceled, nRejected int
+	closeOnce                            sync.Once
 }
 
 // New builds a service and its private simulated cluster.
@@ -139,9 +158,96 @@ func New(cfg Config) *Service {
 		eng:     cluster.New(cfg.Cluster),
 		entries: make(map[*mapreduce.Job]*entry),
 		states:  make(map[string]*JobState),
+		idemp:   make(map[string]string),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
+}
+
+// UseJournal attaches a write-ahead journal. Call once, before any
+// submissions; pair with Recover when the journal already holds
+// records from a previous life of the daemon.
+func (s *Service) UseJournal(j *Journal) { s.journal = j }
+
+// Journaled reports whether a journal is attached.
+func (s *Service) Journaled() bool { return s.journal != nil }
+
+// journalAppend appends one record, recording (not returning) any
+// failure: mid-run transitions must not fail their job, and the
+// durability-critical path (Submit) checks the error explicitly via
+// journalCommit. Engine goroutine only.
+func (s *Service) journalAppend(rec JournalRecord) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Append(rec); err != nil {
+		s.setJournalErr(err)
+	}
+}
+
+// journalCommit makes everything appended so far durable. Engine
+// goroutine only.
+func (s *Service) journalCommit() error {
+	if s.journal == nil {
+		return nil
+	}
+	if err := s.journal.Commit(); err != nil {
+		s.setJournalErr(err)
+		return err
+	}
+	return nil
+}
+
+// journalQuiesce commits buffered journal records at a quiescent
+// point (engine idle, drain). Failures are recorded (JournalErr flips
+// /healthz), not returned: nothing at an idle point can act on them.
+// Engine goroutine only.
+func (s *Service) journalQuiesce() {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Commit(); err != nil {
+		s.setJournalErr(err)
+	}
+}
+
+// journalTerminal appends a job's terminal record (degrade first when
+// the run folded tasks into drops). Engine goroutine only; st must no
+// longer be reachable for mutation or must be read-stable.
+func (s *Service) journalTerminal(st *JobState) {
+	if s.journal == nil {
+		return
+	}
+	if st.Result != nil && st.Result.Counters.MapsDegraded > 0 {
+		s.journalAppend(JournalRecord{Op: JournalDegrade, ID: st.ID, EndVT: st.EndVT})
+	}
+	s.journalAppend(JournalRecord{
+		Op:       JournalDone,
+		ID:       st.ID,
+		Status:   st.Status,
+		Err:      st.Err,
+		SubmitVT: st.SubmitVT,
+		StartVT:  st.StartVT,
+		EndVT:    st.EndVT,
+		Result:   toJournalResult(st.Result),
+	})
+}
+
+func (s *Service) setJournalErr(err error) {
+	s.mu.Lock()
+	if s.journalErr == nil {
+		s.journalErr = err
+	}
+	s.mu.Unlock()
+}
+
+// JournalErr returns the first journal I/O failure, if any. A non-nil
+// value flips /healthz and /readyz to 503: the daemon can no longer
+// promise durability. Safe from any goroutine.
+func (s *Service) JournalErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.journalErr
 }
 
 // Engine exposes the shared engine for the goroutine driving it.
@@ -150,17 +256,76 @@ func (s *Service) Engine() *cluster.Engine { return s.eng }
 // Policy returns the configured scheduling policy.
 func (s *Service) Policy() Policy { return s.cfg.Policy }
 
-// Close wakes every stream waiter; used at daemon shutdown.
+// Close marks the service shut down, wakes every stream waiter, and
+// commits and closes the journal. Idempotent: daemon teardown, signal
+// handlers, and tests may all call it; only the first call acts. The
+// journal close requires that the goroutine driving the engine has
+// stopped (Daemon.Stop guarantees this ordering).
 func (s *Service) Close() {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
-	s.cond.Broadcast()
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		s.cond.Broadcast()
+		if s.journal != nil {
+			if err := s.journal.Close(); err != nil {
+				s.setJournalErr(err)
+			}
+		}
+	})
 }
+
+// StartDrain stops admissions: subsequent Submits fail with
+// ErrDraining, and queued jobs are no longer dispatched — they stay
+// journaled for recovery at the next boot. Running jobs are unaffected.
+// Safe from any goroutine; flips /readyz to 503.
+func (s *Service) StartDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Draining reports whether StartDrain has been called. Safe from any
+// goroutine.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// ActiveCount returns the number of running jobs. Engine goroutine
+// only (the drain loop samples it through the daemon mailbox).
+func (s *Service) ActiveCount() int { return len(s.active) }
+
+// QueuedCount returns the number of admitted-but-unstarted jobs.
+// Engine goroutine only.
+func (s *Service) QueuedCount() int { return len(s.queue) }
 
 // Submit validates and enqueues one job at the current virtual time,
 // dispatching immediately if capacity allows. Engine goroutine only.
+//
+// Submissions carrying an idempotency key are deduplicated: a key seen
+// before (including across a crash, via the journal) returns the
+// original job's id without creating a new job, so clients can retry
+// blind after a timeout or a daemon restart and still observe exactly
+// one execution. When a journal is attached, the submit record is
+// fsynced before Submit returns — an acknowledged job survives a kill
+// -9 by construction.
 func (s *Service) Submit(spec JobSpec) (string, error) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		s.mu.Lock()
+		s.nRejected++
+		s.mu.Unlock()
+		return "", ErrDraining
+	}
+	if spec.IdempotencyKey != "" {
+		if id, ok := s.idemp[spec.IdempotencyKey]; ok {
+			return id, nil
+		}
+	}
 	if len(s.queue) >= s.cfg.MaxQueue {
 		s.mu.Lock()
 		s.nRejected++
@@ -181,6 +346,25 @@ func (s *Service) Submit(spec JobSpec) (string, error) {
 		return "", fmt.Errorf("jobserver: spec wants %d reduces but the cluster has %d reduce slots", job.Reduces, rs)
 	}
 	id := fmt.Sprintf("job-%04d", s.seq)
+	if s.journal != nil && !s.recovering {
+		s.journalAppend(JournalRecord{Op: JournalSubmit, ID: id, Spec: &spec, SubmitVT: s.eng.Now()})
+		if err := s.journalCommit(); err != nil {
+			// The job was never acknowledged and never enqueued; the
+			// client must retry (ideally elsewhere — /readyz is now 503).
+			s.mu.Lock()
+			s.nRejected++
+			s.mu.Unlock()
+			return "", fmt.Errorf("jobserver: journal write failed, submission not accepted: %w", err)
+		}
+	}
+	s.enqueue(spec, job, id)
+	return id, nil
+}
+
+// enqueue installs an already-validated, already-journaled job and
+// dispatches. Shared by Submit and recovery re-admission; engine
+// goroutine only.
+func (s *Service) enqueue(spec JobSpec, job *mapreduce.Job, id string) {
 	st := &JobState{ID: id, Spec: spec, Status: StatusQueued, SubmitVT: s.eng.Now()}
 	weight := spec.Weight
 	if weight <= 0 {
@@ -188,6 +372,9 @@ func (s *Service) Submit(spec JobSpec) (string, error) {
 	}
 	e := &entry{state: st, job: job, seq: s.seq, weight: weight}
 	s.seq++
+	if spec.IdempotencyKey != "" {
+		s.idemp[spec.IdempotencyKey] = id
+	}
 	if s.cfg.SnapshotEvery > 0 {
 		job.SnapshotEvery = s.cfg.SnapshotEvery
 		job.OnSnapshot = func(t float64, ests []mapreduce.KeyEstimate) {
@@ -204,14 +391,21 @@ func (s *Service) Submit(spec JobSpec) (string, error) {
 	s.mu.Unlock()
 	s.queue = append(s.queue, e)
 	s.dispatch()
-	return id, nil
 }
 
 // dispatch admits queued jobs in FIFO order while capacity allows: a
 // free active slot and enough free reduce slots for the head job
 // (head-of-line blocking — jobs never overtake within the queue, so
-// admission order is reproducible).
+// admission order is reproducible). During a drain nothing is
+// admitted: queued jobs keep their journaled admission state and are
+// re-admitted, in this exact order, by recovery at the next boot.
 func (s *Service) dispatch() {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		return
+	}
 	for len(s.queue) > 0 {
 		if len(s.active) >= s.cfg.MaxActive {
 			return
@@ -234,6 +428,7 @@ func (s *Service) dispatch() {
 			s.nFailed++
 			s.mu.Unlock()
 			s.cond.Broadcast()
+			s.journalTerminal(e.state)
 			continue
 		}
 		e.h = h
@@ -244,6 +439,7 @@ func (s *Service) dispatch() {
 		e.state.StartVT = s.eng.Now()
 		s.mu.Unlock()
 		s.cond.Broadcast()
+		s.journalAppend(JournalRecord{Op: JournalAdmit, ID: e.state.ID, StartVT: e.state.StartVT})
 	}
 }
 
@@ -282,6 +478,7 @@ func (s *Service) onJobDone(e *entry, res *mapreduce.Result, err error) {
 	}
 	s.mu.Unlock()
 	s.cond.Broadcast()
+	s.journalTerminal(st)
 	s.dispatch()
 	s.scheduleKicks()
 }
@@ -311,17 +508,189 @@ func (s *Service) Cancel(id string) error {
 			s.nCanceled++
 			s.mu.Unlock()
 			s.cond.Broadcast()
+			s.journalTerminal(st)
 			return nil
 		}
 	}
 	for _, e := range s.active {
 		if e.state == st {
 			e.canceled = true
+			// Journal the request before the kill lands: if the daemon
+			// dies in between, recovery honors the cancellation instead
+			// of resurrecting a job the client asked to stop.
+			s.journalAppend(JournalRecord{Op: JournalCancel, ID: id, EndVT: s.eng.Now()})
 			e.h.Cancel()
 			return nil
 		}
 	}
 	return nil
+}
+
+// RecoveryStats summarizes what Recover found in the journal.
+type RecoveryStats struct {
+	// Terminal is the number of jobs restored directly from journaled
+	// terminal records (done/failed/canceled) — no re-execution.
+	Terminal int
+	// Requeued is the number of incomplete jobs re-admitted for
+	// deterministic re-execution from their recorded spec + seed.
+	Requeued int
+	// Canceled is the number of jobs with a journaled cancel request
+	// but no terminal record, finalized as canceled without re-running.
+	Canceled int
+}
+
+// Recover replays a journal read by OpenJournal: jobs with terminal
+// records are restored verbatim (result, counters, idempotency key),
+// jobs with a cancel request but no terminal record are finalized as
+// canceled, and everything else — queued or running at the moment of
+// the crash — is re-admitted in original submission order under its
+// original id. Because a (spec, seed) run is bit-identical regardless
+// of scheduling, the re-executed jobs produce exactly the results an
+// uninterrupted daemon would have: recovery is replay-from-seed, no
+// result checkpoints needed. Call once, on the engine goroutine,
+// after UseJournal and before serving traffic.
+func (s *Service) Recover(recs []JournalRecord) (RecoveryStats, error) {
+	var rs RecoveryStats
+	if len(recs) == 0 {
+		return rs, nil
+	}
+	type jobRec struct {
+		submit *JournalRecord
+		done   *JournalRecord
+		cancel *JournalRecord
+	}
+	byID := make(map[string]*jobRec)
+	var order []string
+	maxSeq := -1
+	for i := range recs {
+		rec := &recs[i]
+		jr := byID[rec.ID]
+		if jr == nil {
+			jr = &jobRec{}
+			byID[rec.ID] = jr
+		}
+		switch rec.Op {
+		case JournalSubmit:
+			if jr.submit != nil {
+				return rs, fmt.Errorf("jobserver: journal has duplicate submit for %s", rec.ID)
+			}
+			if rec.Spec == nil {
+				return rs, fmt.Errorf("jobserver: journal submit for %s carries no spec", rec.ID)
+			}
+			jr.submit = rec
+			order = append(order, rec.ID)
+			var n int
+			if _, err := fmt.Sscanf(rec.ID, "job-%d", &n); err == nil && n > maxSeq {
+				maxSeq = n
+			}
+		case JournalDone:
+			jr.done = rec
+		case JournalCancel:
+			jr.cancel = rec
+		case JournalAdmit, JournalDegrade:
+			// Informational: re-execution re-derives admission order and
+			// degradation from the spec + seed.
+		default:
+			return rs, fmt.Errorf("jobserver: journal has unknown op %q for %s", rec.Op, rec.ID)
+		}
+	}
+	s.seq = maxSeq + 1
+	s.recovering = true
+	defer func() { s.recovering = false }()
+	for _, id := range order {
+		jr := byID[id]
+		switch {
+		case jr.submit == nil:
+			// Unreachable given the order slice, but keeps the switch total.
+		case jr.done != nil:
+			s.restoreTerminal(id, jr.submit, jr.done)
+			rs.Terminal++
+		case jr.cancel != nil:
+			// The client asked for a kill that the crash delivered. Honor
+			// it instead of resurrecting the job, and write the terminal
+			// record the dying daemon never got to.
+			st := &JobState{
+				ID:       id,
+				Spec:     *jr.submit.Spec,
+				Status:   StatusCanceled,
+				Err:      "jobserver: canceled (finalized during crash recovery)",
+				SubmitVT: jr.submit.SubmitVT,
+				EndVT:    jr.cancel.EndVT,
+			}
+			s.installRestored(st)
+			s.journalTerminal(st)
+			rs.Canceled++
+		default:
+			s.submitRecovered(id, *jr.submit.Spec)
+			rs.Requeued++
+		}
+	}
+	if err := s.journalCommit(); err != nil {
+		return rs, err
+	}
+	return rs, nil
+}
+
+// restoreTerminal installs a completed job exactly as journaled.
+func (s *Service) restoreTerminal(id string, sub, done *JournalRecord) {
+	st := &JobState{
+		ID:       id,
+		Spec:     *sub.Spec,
+		Status:   done.Status,
+		SubmitVT: done.SubmitVT,
+		StartVT:  done.StartVT,
+		EndVT:    done.EndVT,
+		Err:      done.Err,
+	}
+	if done.Result != nil {
+		st.Result = done.Result.Restore()
+		// The terminal snapshot, so streams opened against a restored
+		// job converge to its final outputs just like live ones.
+		st.Snapshots = []Snapshot{{T: st.Result.Runtime, Estimates: st.Result.Outputs}}
+	}
+	s.installRestored(st)
+}
+
+// installRestored publishes a recovered terminal state: visible to
+// readers, counted in stats, and holding its idempotency key so
+// post-restart duplicate submissions still dedupe to the original run.
+func (s *Service) installRestored(st *JobState) {
+	if k := st.Spec.IdempotencyKey; k != "" {
+		if _, ok := s.idemp[k]; !ok {
+			s.idemp[k] = st.ID
+		}
+	}
+	s.mu.Lock()
+	s.states[st.ID] = st
+	s.order = append(s.order, st.ID)
+	switch st.Status {
+	case StatusDone:
+		s.nDone++
+	case StatusFailed:
+		s.nFailed++
+	case StatusCanceled:
+		s.nCanceled++
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// submitRecovered re-admits one incomplete journaled job under its
+// original id. The spec validated at original submit time, but the
+// build is repeated — a spec that no longer builds (say, an app renamed
+// between daemon versions) becomes a failed job, not a recovery abort.
+func (s *Service) submitRecovered(id string, spec JobSpec) {
+	job, err := spec.Build(s.cfg.Workers)
+	if err == nil && job.Reduces > s.eng.TotalSlots(cluster.ReduceSlot) {
+		err = fmt.Errorf("jobserver: spec wants %d reduces but the cluster has %d reduce slots", job.Reduces, s.eng.TotalSlots(cluster.ReduceSlot))
+	}
+	if err != nil {
+		st := &JobState{ID: id, Spec: spec, Status: StatusFailed, Err: err.Error()}
+		s.installRestored(st)
+		s.journalTerminal(st)
+		return
+	}
+	s.enqueue(spec, job, id)
 }
 
 // JobInfo returns a copy of one job's state. Safe from any goroutine.
@@ -363,10 +732,19 @@ func copyState(st *JobState) JobState {
 func (s *Service) StreamFrom(id string, have int) ([]Snapshot, JobStatus, int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if have < 0 {
+		have = 0
+	}
 	for {
 		st, ok := s.states[id]
 		if !ok {
 			return nil, "", have, fmt.Errorf("jobserver: no job %q", id)
+		}
+		// A resume cursor can point past the end (e.g. a reconnect after
+		// a restart whose recovered job has only the terminal snapshot);
+		// clamp instead of slicing out of range.
+		if have > len(st.Snapshots) {
+			have = len(st.Snapshots)
 		}
 		if len(st.Snapshots) > have || st.Status.Terminal() {
 			fresh := st.Snapshots[have:len(st.Snapshots):len(st.Snapshots)]
@@ -393,6 +771,8 @@ type Stats struct {
 	Rejected    int     `json:"rejected"`
 	MapSlots    int     `json:"mapSlots"`
 	ReduceSlots int     `json:"reduceSlots"`
+	Draining    bool    `json:"draining,omitempty"`
+	Journaled   bool    `json:"journaled,omitempty"`
 }
 
 // Stats reports current service counters. The engine fields (virtual
@@ -415,6 +795,8 @@ func (s *Service) Stats() Stats {
 		Rejected:    s.nRejected,
 		MapSlots:    s.eng.TotalSlots(cluster.MapSlot),
 		ReduceSlots: s.eng.TotalSlots(cluster.ReduceSlot),
+		Draining:    s.draining,
+		Journaled:   s.journal != nil,
 	}
 }
 

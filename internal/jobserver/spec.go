@@ -49,6 +49,12 @@ type JobSpec struct {
 	// SubmitAt is the job's virtual-time submission offset within a
 	// replayed trace; live submissions ignore it.
 	SubmitAt float64 `json:"submitAt,omitempty"`
+	// IdempotencyKey, when non-empty, deduplicates submissions: the
+	// first submission with a given key creates the job, and every
+	// later one — including retries after a client timeout or a daemon
+	// crash-and-restart, since keys are journaled with the spec —
+	// returns the original job's id instead of running again.
+	IdempotencyKey string `json:"idempotencyKey,omitempty"`
 
 	// Controller selects the approximation mode: "" or "precise",
 	// "static" (SampleRatio/DropRatio), "target" (Target relative

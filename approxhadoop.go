@@ -216,6 +216,59 @@ func ApproxMaxReduce(int) ReduceLogic { return approx.NewMaxReducer() }
 func SumReduce(int) ReduceLogic { return mapreduce.SumReduce() }
 
 // ---------------------------------------------------------------------------
+// Sketch plane
+// ---------------------------------------------------------------------------
+
+// SketchPlan selects and parameterizes a sketch-compressed map-output
+// representation (assign to Job.Sketch). Map output then carries one
+// fixed-size mergeable sketch per (partition, group) instead of one
+// pair per element — O(1) shuffle volume per partition — and the
+// matching sketch reducer merges them with sketch-specific error
+// bounds. The zero value of every parameter picks a sensible default.
+type SketchPlan = mapreduce.SketchPlan
+
+// Sketch kinds for SketchPlan.Kind.
+const (
+	// SketchDistinct counts distinct elements per group (HyperLogLog).
+	SketchDistinct = mapreduce.SketchDistinct
+	// SketchTopK tracks heavy hitters (Count-Min + candidate set).
+	SketchTopK = mapreduce.SketchTopK
+	// SketchMembership answers set-membership queries (Bloom filter).
+	SketchMembership = mapreduce.SketchMembership
+)
+
+// ElementSep joins group and element in the composite-pair fallback
+// representation emitted by EmitElement without a sketch plan.
+const ElementSep = mapreduce.ElementSep
+
+// EmitElement emits one element observation for sketch-family jobs:
+// under a SketchPlan it folds into the group's sketch, otherwise it
+// emits the composite pair "group\x1felement" partitioned by group so
+// both representations reduce identically.
+func EmitElement(emit Emitter, group, element string, weight float64) {
+	mapreduce.EmitElement(emit, group, element, weight)
+}
+
+// DistinctReduce estimates distinct elements per group. Pair it with
+// SketchDistinct (or run it on composite pairs for exact counts).
+func DistinctReduce(int) ReduceLogic { return mapreduce.NewDistinctReduce() }
+
+// TopKReduce reports the k heaviest elements with rank-preserving
+// count estimates. Pair it with SketchTopK.
+func TopKReduce(k int) func(int) ReduceLogic {
+	return func(int) ReduceLogic { return mapreduce.NewTopKReduce(k) }
+}
+
+// MembershipReduce builds per-group membership filters and reports
+// estimated member counts. Pair it with SketchMembership.
+func MembershipReduce(int) ReduceLogic { return mapreduce.NewMembershipReduce() }
+
+// TotalShuffleBytes reports the cumulative map-output shuffle volume
+// (bytes) of every job run in this process — diff it around a run to
+// compare representations.
+func TotalShuffleBytes() int64 { return mapreduce.TotalShuffleBytes() }
+
+// ---------------------------------------------------------------------------
 // Controllers
 // ---------------------------------------------------------------------------
 

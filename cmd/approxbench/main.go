@@ -16,7 +16,10 @@
 //	approxbench -experiment all -parallel 1 -workers 1       # sequential baseline
 //
 // Experiments: table1 table2 fig5 fig6 fig7 fig8 fig9a fig9b fig9c
-// fig10 fig11 fig12 fig13 userdef keyspace ablations all
+// fig10 fig11 fig12 fig13 userdef keyspace sketchpairs sketch
+// ablations all — or a comma-separated list, e.g.
+//
+//	approxbench -quick -experiment sketchpairs,sketch -json BENCH_pr8.json
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 	"time"
 
 	"approxhadoop/internal/harness"
+	"approxhadoop/internal/mapreduce"
 )
 
 // ExpStat is one experiment's recorded cost in a -json trajectory
@@ -40,6 +44,10 @@ type ExpStat struct {
 	WallSecs   float64 `json:"wall_secs"`
 	AllocBytes uint64  `json:"alloc_bytes"`
 	Mallocs    uint64  `json:"mallocs"`
+	// ShuffleBytes is the map-output shuffle volume the experiment's
+	// jobs moved (delta of mapreduce.TotalShuffleBytes around the run):
+	// the column the sketch-compressed representation is judged on.
+	ShuffleBytes int64 `json:"shuffle_bytes"`
 }
 
 // Trajectory is the schema of -json output (e.g. BENCH_pr3.json).
@@ -60,7 +68,7 @@ func fatalf(format string, args ...interface{}) {
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "experiment id (table1,...,fig13,userdef,ablations,all)")
+		experiment   = flag.String("experiment", "all", "experiment id or comma-separated list (table1,...,fig13,userdef,sketch,ablations,all)")
 		scale        = flag.Float64("scale", 1, "dataset scale multiplier")
 		reps         = flag.Int("reps", 3, "repetitions per data point")
 		seed         = flag.Int64("seed", 42, "base random seed")
@@ -120,6 +128,9 @@ func main() {
 		{"fig13", func() error { _, err := r.Fig13(nil); return err }},
 		{"userdef", func() error { _, err := r.UserDefined(); return err }},
 		{"keyspace", func() error { _, err := r.KeySpace(); return err }},
+		{"sketchpairs", func() error { _, err := r.SketchPairs(); return err }},
+		{"sketch", func() error { _, err := r.Sketch(); return err }},
+		{"sketchcmp", func() error { _, err := r.SketchCompare(); return err }},
 		{"ablations", func() error {
 			if _, err := r.AblationTaskOrder(); err != nil {
 				return err
@@ -144,15 +155,23 @@ func main() {
 		Note:       *note,
 	}
 
-	want := strings.ToLower(*experiment)
+	// -experiment accepts a comma-separated list ("sketchpairs,sketch")
+	// so representation comparisons land in one trajectory file.
+	want := map[string]bool{}
+	for _, name := range strings.Split(strings.ToLower(*experiment), ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			want[name] = true
+		}
+	}
 	ran := false
 	for _, e := range all {
-		if want != "all" && want != e.name {
+		if !want["all"] && !want[e.name] {
 			continue
 		}
 		ran = true
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
+		shuffleBefore := mapreduce.TotalShuffleBytes()
 		start := time.Now()
 		if err := e.run(); err != nil {
 			fatalf("%s failed: %v", e.name, err)
@@ -160,10 +179,11 @@ func main() {
 		wall := time.Since(start).Seconds()
 		runtime.ReadMemStats(&after)
 		traj.Experiments = append(traj.Experiments, ExpStat{
-			Name:       e.name,
-			WallSecs:   wall,
-			AllocBytes: after.TotalAlloc - before.TotalAlloc,
-			Mallocs:    after.Mallocs - before.Mallocs,
+			Name:         e.name,
+			WallSecs:     wall,
+			AllocBytes:   after.TotalAlloc - before.TotalAlloc,
+			Mallocs:      after.Mallocs - before.Mallocs,
+			ShuffleBytes: mapreduce.TotalShuffleBytes() - shuffleBefore,
 		})
 		fmt.Printf("\n[%s completed in %.1fs wall time]\n", e.name, wall)
 	}
@@ -239,21 +259,24 @@ func printCompare(path string, cur Trajectory) error {
 	}
 	fmt.Printf("\nvs %s (scale=%g reps=%d workers=%d parallel=%d)\n",
 		path, base.Scale, base.Reps, base.Workers, base.Parallel)
-	fmt.Printf("%-12s %9s %9s %8s   %10s %10s %8s   %12s %12s %8s\n",
+	fmt.Printf("%-12s %9s %9s %8s   %10s %10s %8s   %12s %12s %8s   %12s %12s %8s\n",
 		"experiment", "old s", "new s", "delta",
 		"old MB", "new MB", "delta",
-		"old mallocs", "new mallocs", "delta")
+		"old mallocs", "new mallocs", "delta",
+		"old shufKB", "new shufKB", "delta")
 	for _, e := range cur.Experiments {
 		o, ok := old[e.Name]
 		if !ok {
 			continue
 		}
 		const mb = 1 << 20
-		fmt.Printf("%-12s %9.3f %9.3f %7.1f%%   %10.1f %10.1f %7.1f%%   %12d %12d %7.1f%%\n",
+		fmt.Printf("%-12s %9.3f %9.3f %7.1f%%   %10.1f %10.1f %7.1f%%   %12d %12d %7.1f%%   %12.1f %12.1f %7.1f%%\n",
 			e.Name, o.WallSecs, e.WallSecs, pctDelta(o.WallSecs, e.WallSecs),
 			float64(o.AllocBytes)/mb, float64(e.AllocBytes)/mb,
 			pctDelta(float64(o.AllocBytes), float64(e.AllocBytes)),
-			o.Mallocs, e.Mallocs, pctDelta(float64(o.Mallocs), float64(e.Mallocs)))
+			o.Mallocs, e.Mallocs, pctDelta(float64(o.Mallocs), float64(e.Mallocs)),
+			float64(o.ShuffleBytes)/1024, float64(e.ShuffleBytes)/1024,
+			pctDelta(float64(o.ShuffleBytes), float64(e.ShuffleBytes)))
 	}
 	return nil
 }

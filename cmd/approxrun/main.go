@@ -11,10 +11,17 @@
 //	approxrun -app wikilength              # precise
 //	approxrun -app projectpop -sample 0.1 -faults 8 -max-attempts 3 -degrade-to-drop
 //	approxrun -app pagepop -sample 0.25 -trace events.jsonl
+//	approxrun -app wikidistinct -sketch    # sketch-compressed shuffle
+//	approxrun -app toppages -sketch
 //
 // Apps: wikilength wikipagerank projectpop pagepop pagetraffic
 // wikirate webrate attacks totalsize requestsize clients browsers
-// dcplacement kmeans video
+// dcplacement kmeans video wikidistinct toppages membership
+//
+// The last three are the sketch-plane scenarios: without -sketch they
+// run the exact composite-pairs representation, with it the map output
+// collapses to one sketch per (partition, group). The shuffle-bytes
+// counter printed after the run shows the difference.
 package main
 
 import (
@@ -49,6 +56,8 @@ func main() {
 		faults      = flag.Int("faults", 0, "inject N random faults (task faults, fail-stops, slowdowns, rack failures) seeded by -seed")
 		maxAttempts = flag.Int("max-attempts", 0, "cap attempts per map task (0 = unlimited retries)")
 		degrade     = flag.Bool("degrade-to-drop", false, "fold unrecoverable task failures into the estimator's dropped-cluster count instead of failing")
+
+		sketch = flag.Bool("sketch", false, "use the sketch-compressed map-output representation (sketch-plane apps only)")
 
 		trace      = flag.String("trace", "", "write the job's scheduling-event log as JSONL to this file (\"-\" for stdout)")
 		workers    = flag.Int("workers", 0, "map-compute worker pool size (0 = GOMAXPROCS, 1 = inline); results are identical for any value")
@@ -141,6 +150,21 @@ func main() {
 	case "video":
 		frames := apps.VideoData("movie", 40, scaleN(200), *seed)
 		job = apps.VideoEncoding(frames, apps.VideoEncodingConfig{ApproxRatio: *drop}, opts)
+	case "wikidistinct", "toppages", "membership":
+		skOpts := apps.SketchOptions{Options: opts, Sketch: *sketch}
+		edits := func() *dfs.File {
+			e := workload.DefaultEditLog()
+			e.LinesPerBlock = scaleN(e.LinesPerBlock)
+			return e.File("wiki-edit-log")
+		}
+		switch *app {
+		case "wikidistinct":
+			job = apps.WikiDistinctEditors(edits(), skOpts)
+		case "toppages":
+			job = apps.WikiTopPages(wlog(), skOpts)
+		case "membership":
+			job = apps.WikiEditorMembership(edits(), skOpts)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "approxrun: unknown app %q\n", *app)
 		os.Exit(2)
@@ -246,8 +270,9 @@ func main() {
 		fmt.Printf("faults: %d attempts failed, %d retried, %d degraded to drops, %d servers blacklisted\n",
 			c.MapsFailed, c.MapsRetried, c.MapsDegraded, c.ServersBlacklisted)
 	}
-	fmt.Printf("items processed: %d / %d; simulated runtime %.1f s; energy %.1f Wh\n\n",
-		res.Counters.ItemsProcessed, res.Counters.ItemsTotal, res.Runtime, res.EnergyWh)
+	fmt.Printf("items processed: %d / %d; shuffle %d bytes; simulated runtime %.1f s; energy %.1f Wh\n\n",
+		res.Counters.ItemsProcessed, res.Counters.ItemsTotal,
+		res.Counters.ShuffleBytes, res.Runtime, res.EnergyWh)
 	for _, o := range outs {
 		if o.Exact {
 			fmt.Printf("%-24s %14.1f (exact)\n", o.Key, o.Est.Value)

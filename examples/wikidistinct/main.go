@@ -1,0 +1,105 @@
+// Sketch plane: "distinct editors per project" over a synthetic
+// Wikipedia edit log, run twice on identical input — once with the
+// exact composite-pairs shuffle and once with the sketch-compressed
+// representation (Job.Sketch), where every map task ships one small
+// HyperLogLog per project instead of one pair per (project, editor).
+// The job definition is otherwise unchanged: the mapper emits through
+// EmitElement and DistinctReduce handles both representations.
+//
+//	go run ./examples/wikidistinct
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	approxhadoop "approxhadoop"
+)
+
+// makeEditLog builds a seeded synthetic edit log, one
+// "project<TAB>editor" line per edit, skewed so early projects get
+// most of the edits (like real wikis).
+func makeEditLog() []byte {
+	var sb strings.Builder
+	state := uint64(20150313)
+	next := func(n uint64) uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return (state >> 33) % n
+	}
+	for i := 0; i < 120000; i++ {
+		proj := next(40)
+		proj = proj * proj / 40 // quadratic skew toward project 0
+		editor := next(200 + proj*400)
+		fmt.Fprintf(&sb, "proj%02d\ted%05d\n", proj, editor)
+	}
+	return []byte(sb.String())
+}
+
+func distinctEditors(input *approxhadoop.File, sketch bool) *approxhadoop.Job {
+	job := &approxhadoop.Job{
+		Name:   "DistinctEditors",
+		Input:  input,
+		Format: approxhadoop.ApproxTextInput{},
+		NewMapper: func() approxhadoop.Mapper {
+			return approxhadoop.MapperFunc(func(rec approxhadoop.Record, emit approxhadoop.Emitter) {
+				proj, editor, ok := strings.Cut(rec.Value, "\t")
+				if !ok {
+					return
+				}
+				approxhadoop.EmitElement(emit, proj, editor, 1)
+			})
+		},
+		NewReduce: approxhadoop.DistinctReduce,
+		Cost:      approxhadoop.PaperCost(),
+		Seed:      7,
+	}
+	if sketch {
+		job.Sketch = &approxhadoop.SketchPlan{Kind: approxhadoop.SketchDistinct}
+	} else {
+		job.Combine = true // exact baseline still combines map-side
+	}
+	return job
+}
+
+func main() {
+	sys := approxhadoop.NewSystem(approxhadoop.DefaultCluster())
+	input := approxhadoop.SplitText("edits.log", makeEditLog(), 1<<15)
+	if err := sys.Store(input); err != nil {
+		log.Fatal(err)
+	}
+
+	type run struct {
+		name    string
+		res     *approxhadoop.Result
+		shuffle int64
+	}
+	var runs []run
+	for _, sketch := range []bool{false, true} {
+		name := "pairs "
+		if sketch {
+			name = "sketch"
+		}
+		before := approxhadoop.TotalShuffleBytes()
+		res, err := sys.Run(distinctEditors(input, sketch))
+		if err != nil {
+			log.Fatal(err)
+		}
+		runs = append(runs, run{name, res, approxhadoop.TotalShuffleBytes() - before})
+	}
+
+	pairs, sk := runs[0], runs[1]
+	fmt.Printf("shuffle volume: pairs %d bytes, sketch %d bytes (%.1fx smaller)\n\n",
+		pairs.shuffle, sk.shuffle, float64(pairs.shuffle)/float64(sk.shuffle))
+	fmt.Printf("%-8s %14s %26s\n", "project", "exact distinct", "HLL estimate (95% CI)")
+	for i, p := range pairs.res.Outputs {
+		if i >= 10 {
+			break
+		}
+		a, ok := sk.res.Output(p.Key)
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-8s %14.0f %18.0f ± %-6.0f\n", p.Key, p.Est.Value, a.Est.Value, a.Est.Err)
+	}
+}

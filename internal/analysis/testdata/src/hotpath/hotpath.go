@@ -51,6 +51,35 @@ func box(s sink, r rec) {
 	s.accept(r) // want: hotpath
 }
 
+// sketchFold mirrors a sketch Add/Merge loop: the fold itself is
+// allocation-free, but boxing the element into an any and
+// concatenating a scratch key allocate per element.
+//
+//approx:hotpath
+func sketchFold(elements []string, registers []uint8, s sink) {
+	for _, e := range elements {
+		key := "g:" + e // want: hotpath
+		s.accept(e)     // want: hotpath
+		h := uint64(len(key))
+		registers[h%uint64(len(registers))]++
+	}
+}
+
+// sketchMerge is the merge side: element-wise register max is clean,
+// but a per-register error string would allocate.
+//
+//approx:hotpath
+func sketchMerge(dst, src []uint8, tag string) string {
+	msg := ""
+	for i, v := range src {
+		if v > dst[i] {
+			dst[i] = v
+		}
+		msg = tag + "!" // want: hotpath
+	}
+	return msg
+}
+
 // cold is unmarked: the identical constructs carry no finding.
 func cold(recs []rec) string {
 	out := ""

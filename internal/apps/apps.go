@@ -110,5 +110,7 @@ func Registry() []Spec {
 		{"DCPlacement", "optimization", "US/Europe grid", false, true, false, "GEV"},
 		{"VideoEncoding", "video encoding", "Movie frames", false, false, true, "U"},
 		{"KMeans", "machine learning", "Point set", false, false, true, "U"},
+		{"WikiDistinctEditors", "log processing", "Wikipedia edit log", true, true, false, "SK"},
+		{"WikiTopPages", "log processing", "Wikipedia log", true, true, false, "SK"},
 	}
 }

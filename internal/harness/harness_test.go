@@ -69,7 +69,7 @@ func TestWorstKeyAndActualError(t *testing.T) {
 func TestTable1And2(t *testing.T) {
 	r, buf := tiny(t)
 	specs, err := r.Table1()
-	if err != nil || len(specs) != 16 {
+	if err != nil || len(specs) != 18 {
 		t.Fatalf("table1: %v, %d specs", err, len(specs))
 	}
 	rows, err := r.Table2()
@@ -385,5 +385,39 @@ func TestAblationCostModel(t *testing.T) {
 	// by host timing noise, so only sanity-check it ran.
 	if rows[3].Runtime >= rows[2].Runtime {
 		t.Errorf("analytic: sampling should cut runtime (%v vs %v)", rows[3].Runtime, rows[2].Runtime)
+	}
+}
+
+func TestSketchExperiments(t *testing.T) {
+	r, buf := tiny(t)
+	rows, err := r.SketchCompare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 2 apps x 2 representations
+		t.Fatalf("rows = %d", len(rows))
+	}
+	pairs, sk := rows[:2], rows[2:]
+	for i := range sk {
+		if sk[i].App != pairs[i].App {
+			t.Fatalf("row order mismatch: %q vs %q", sk[i].App, pairs[i].App)
+		}
+		if sk[i].ShuffleBytes <= 0 || pairs[i].ShuffleBytes <= sk[i].ShuffleBytes {
+			t.Errorf("%s: sketch shuffle %d should undercut pairs %d",
+				sk[i].App, sk[i].ShuffleBytes, pairs[i].ShuffleBytes)
+		}
+		if sk[i].Keys != pairs[i].Keys {
+			t.Errorf("%s: key count %d vs %d across representations",
+				sk[i].App, sk[i].Keys, pairs[i].Keys)
+		}
+	}
+	if !strings.Contains(buf.String(), "Sketch vs pairs") {
+		t.Error("comparison table not printed")
+	}
+	if _, err := r.Sketch(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.SketchPairs(); err != nil {
+		t.Fatal(err)
 	}
 }

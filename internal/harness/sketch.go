@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"fmt"
+
+	"approxhadoop/internal/apps"
+	"approxhadoop/internal/dfs"
+	"approxhadoop/internal/mapreduce"
+	"approxhadoop/internal/workload"
+)
+
+// This file runs the sketch-plane scenarios (distinct editors per
+// project, top-k hot pages) in both map-output representations. The
+// pairs run is the exact baseline; the sketch run ships one fixed-size
+// sketch per (partition, group) instead of one pair per element, so the
+// interesting column is shuffle bytes, not just runtime.
+
+// editInput builds the scaled Wikipedia edit log.
+func (r *Runner) editInput() *dfs.File {
+	e := workload.DefaultEditLog()
+	e.LinesPerBlock = r.scaleN(e.LinesPerBlock)
+	return e.File("wiki-edit-log")
+}
+
+// SketchRow is one (application, representation) measurement.
+type SketchRow struct {
+	App          string
+	Repr         string // "sketch" or "pairs"
+	Runtime      float64
+	ShuffleBytes int64
+	Keys         int
+}
+
+// sketchScenarios enumerates the scenario builders shared by both
+// representations so the comparison runs on identical inputs.
+func (r *Runner) sketchScenarios() []struct {
+	name  string
+	build func(opts apps.SketchOptions) *mapreduce.Job
+} {
+	edits := r.editInput()
+	accesses := r.logInput()
+	return []struct {
+		name  string
+		build func(opts apps.SketchOptions) *mapreduce.Job
+	}{
+		{"WikiDistinctEditors", func(o apps.SketchOptions) *mapreduce.Job {
+			return apps.WikiDistinctEditors(edits, o)
+		}},
+		{"WikiTopPages", func(o apps.SketchOptions) *mapreduce.Job {
+			return apps.WikiTopPages(accesses, o)
+		}},
+	}
+}
+
+// runSketchRepr runs every sketch scenario under one representation.
+func (r *Runner) runSketchRepr(useSketch bool) ([]SketchRow, error) {
+	repr := "pairs"
+	if useSketch {
+		repr = "sketch"
+	}
+	scenarios := r.sketchScenarios()
+	rows := make([]SketchRow, len(scenarios))
+	if err := r.parallelMap(len(scenarios), func(i int) error {
+		sc := scenarios[i]
+		res, err := r.runJob(sc.build(apps.SketchOptions{
+			Options: r.opts(nil, 0, false),
+			Sketch:  useSketch,
+		}))
+		if err != nil {
+			return fmt.Errorf("%s (%s): %w", sc.name, repr, err)
+		}
+		rows[i] = SketchRow{
+			App:          sc.name,
+			Repr:         repr,
+			Runtime:      res.Runtime,
+			ShuffleBytes: res.Counters.ShuffleBytes,
+			Keys:         len(res.Outputs),
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// printSketchRows renders one representation's measurements.
+func (r *Runner) printSketchRows(title string, rows []SketchRow) {
+	printed := make([][]string, 0, len(rows))
+	for _, row := range rows {
+		printed = append(printed, []string{
+			row.App, row.Repr, f1(row.Runtime),
+			fmt.Sprintf("%d", row.ShuffleBytes),
+			fmt.Sprintf("%d", row.Keys),
+		})
+	}
+	r.printPoints(title,
+		[]string{"Application", "Repr", "Runtime(s)", "ShuffleBytes", "Keys"}, printed)
+}
+
+// SketchPairs runs the scenarios with composite-pair map output (exact
+// baseline, map-side combining on).
+func (r *Runner) SketchPairs() ([]SketchRow, error) {
+	rows, err := r.runSketchRepr(false)
+	if err != nil {
+		return nil, err
+	}
+	r.printSketchRows("Sketch scenarios: composite-pairs baseline", rows)
+	return rows, nil
+}
+
+// Sketch runs the scenarios with sketch-compressed map output. It runs
+// ONLY the sketch representation so its shuffle-volume delta in an
+// approxbench trajectory is purely the sketch plane's; run it together
+// with SketchPairs ("-experiment sketchpairs,sketch") to record the
+// reduction factor in one file.
+func (r *Runner) Sketch() ([]SketchRow, error) {
+	rows, err := r.runSketchRepr(true)
+	if err != nil {
+		return nil, err
+	}
+	r.printSketchRows("Sketch scenarios: sketch-compressed shuffle", rows)
+	return rows, nil
+}
+
+// SketchCompare runs both representations on identical inputs and
+// prints the per-application shuffle-volume reduction.
+func (r *Runner) SketchCompare() ([]SketchRow, error) {
+	pairs, err := r.runSketchRepr(false)
+	if err != nil {
+		return nil, err
+	}
+	sk, err := r.runSketchRepr(true)
+	if err != nil {
+		return nil, err
+	}
+	printed := make([][]string, 0, len(sk))
+	for i := range sk {
+		red := "-"
+		if sk[i].ShuffleBytes > 0 {
+			red = fmt.Sprintf("%.1fx", float64(pairs[i].ShuffleBytes)/float64(sk[i].ShuffleBytes))
+		}
+		printed = append(printed, []string{
+			sk[i].App,
+			fmt.Sprintf("%d", pairs[i].ShuffleBytes),
+			fmt.Sprintf("%d", sk[i].ShuffleBytes),
+			red,
+		})
+	}
+	r.printPoints("Sketch vs pairs: shuffle volume",
+		[]string{"Application", "Pairs bytes", "Sketch bytes", "Reduction"}, printed)
+	return append(pairs, sk...), nil
+}

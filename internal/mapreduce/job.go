@@ -64,6 +64,16 @@ type Job struct {
 	// raw values (GEV, user reduce functions) must leave it off.
 	Combine bool
 
+	// Sketch, when non-nil, enables the sketch-emitting map-output
+	// representation: EmitElement calls fold into one fixed-size
+	// mergeable sketch per group (distinct count, top-k, or membership
+	// per Kind), and the reduce side merges sketches instead of
+	// iterating pairs. Pair with a sketch-aware ReduceLogic
+	// (DistinctReduce, TopKReduce, MembershipReduce). Plain Emit calls
+	// still travel as pairs. Nil keeps the pairs representation:
+	// EmitElement then degrades to composite group+element pairs.
+	Sketch *SketchPlan
+
 	// Controller steers approximation; nil runs the job precisely.
 	Controller Controller
 	// Confidence for error bounds (default 0.95).
@@ -209,6 +219,11 @@ func (j *Job) Validate(eng *cluster.Engine) error {
 	}
 	if j.Name == "" {
 		j.Name = "job"
+	}
+	if j.Sketch != nil {
+		if err := j.Sketch.normalize(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

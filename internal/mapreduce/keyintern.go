@@ -70,6 +70,24 @@ func (t *keyTable) Intern(key string) (id, part int32) {
 	return id, part
 }
 
+// InternAt is Intern with the partition supplied by the caller instead
+// of hashed from the key — the composite-key emit path partitions by
+// the group prefix alone. The caller must pass the same partition for
+// every sight of a given key.
+//
+//approx:hotpath
+func (t *keyTable) InternAt(key string, part int32) (id int32) {
+	if id, ok := t.ids[key]; ok {
+		return id
+	}
+	durable := t.copyKey(key)
+	id = int32(len(t.keys))
+	t.ids[durable] = id
+	t.keys = append(t.keys, durable)
+	t.parts = append(t.parts, part)
+	return id
+}
+
 // copyKey appends key's bytes to the arena and returns a durable string
 // view of the copy. The view aliases arena memory that is never
 // rewritten: the chunk only grows by appending past the copy, and a

@@ -5,8 +5,10 @@ import (
 
 	"approxhadoop/internal/cluster"
 	"approxhadoop/internal/dfs"
+	"approxhadoop/internal/sketch"
 	"approxhadoop/internal/stats"
 	"approxhadoop/internal/vtime"
+	"approxhadoop/internal/zerocopy"
 )
 
 // Partition returns the reduce partition for a key: hash(key) mod R,
@@ -50,6 +52,18 @@ type mapEmitter struct {
 	// legacy representation (Job.LegacyDataPlane)
 	raw  [][]KV
 	comb []map[string]stats.RunningStat
+
+	// sketch representation (Job.Sketch, layered over either of the
+	// above for plain Emit calls): groups interns group keys — which
+	// also memoizes each group's partition — proto is the empty sketch
+	// cloned per new group, sketches is dense by group ID, and
+	// sketchIDs lists each partition's group IDs in first-emit order.
+	plan      *SketchPlan
+	proto     sketch.Sketch
+	groups    *keyTable
+	sketches  []sketch.Sketch
+	sketchIDs [][]int32
+	ekey      []byte // composite-key scratch for the pairs fallback
 }
 
 // newMapEmitter builds the per-attempt emitter. pairsHint, when > 0,
@@ -99,6 +113,20 @@ func newMapEmitter(reduces int, combine, legacy bool, meter vtime.Meter, pairsHi
 	return e
 }
 
+// enableSketch switches EmitElement from the composite-pair fallback
+// to folding into per-group sketches.
+func (e *mapEmitter) enableSketch(plan *SketchPlan) error {
+	proto, err := plan.newSketch()
+	if err != nil {
+		return err
+	}
+	e.plan = plan
+	e.proto = proto
+	e.groups = newKeyTable(e.reduces, 64)
+	e.sketchIDs = make([][]int32, e.reduces)
+	return nil
+}
+
 // Emit implements Emitter. key may be a transient view of a reusable
 // buffer (the push-mode record contract): the interner copies it on
 // first sight, and the legacy path only runs with pull-mode readers
@@ -122,6 +150,73 @@ func (e *mapEmitter) Emit(key string, value float64) {
 		return
 	}
 	p := Partition(key, e.reduces)
+	if e.combine {
+		rs := e.comb[p][key]
+		rs.Add(value)
+		e.comb[p][key] = rs
+		return
+	}
+	e.raw[p] = append(e.raw[p], KV{Key: key, Value: value})
+}
+
+// EmitElement implements ElementEmitter. Under a sketch plan the
+// element folds into the group's sketch (weight rounds to a positive
+// integer count, minimum 1); otherwise it degrades to the composite
+// pair group+ElementSep+element — partitioned by the group alone, so a
+// group's elements always meet in one reduce partition in both
+// representations. group and element may be transient buffer views:
+// the interners copy on first sight, the sketches hash without
+// retaining (TopK clones the candidates it keeps), and the legacy path
+// only runs with pull-mode readers whose records are durable.
+//
+//approx:compute
+//approx:hotpath
+func (e *mapEmitter) EmitElement(group, element string, weight float64) {
+	if e.plan == nil {
+		p := int32(Partition(group, e.reduces))
+		if e.intern == nil {
+			e.emitAt(group+ElementSep+element, weight, p)
+			return
+		}
+		e.ekey = append(e.ekey[:0], group...)
+		e.ekey = append(e.ekey, ElementSep[0])
+		e.ekey = append(e.ekey, element...)
+		e.emitAt(zerocopy.String(e.ekey), weight, p)
+		return
+	}
+	e.pairs++
+	id, p := e.groups.Intern(group)
+	if int(id) == len(e.sketches) {
+		e.sketches = append(e.sketches, e.proto.Clone())
+		e.sketchIDs[p] = append(e.sketchIDs[p], id)
+	}
+	n := uint64(1)
+	if weight > 1 {
+		n = uint64(weight + 0.5)
+	}
+	e.sketches[id].Fold(element, n)
+}
+
+// emitAt is Emit with the partition already decided (the composite-pair
+// fallback partitions by group, not by the full key).
+//
+//approx:compute
+//approx:hotpath
+func (e *mapEmitter) emitAt(key string, value float64, p int32) {
+	e.pairs++
+	if e.intern != nil {
+		id := e.intern.InternAt(key, p)
+		if e.combine {
+			if int(id) == len(e.combStats) {
+				e.combStats = append(e.combStats, stats.RunningStat{})
+				e.combIDs[p] = append(e.combIDs[p], id)
+			}
+			e.combStats[id].Add(value)
+			return
+		}
+		e.runs[p] = append(e.runs[p], idPair{id: id, v: value})
+		return
+	}
 	if e.combine {
 		rs := e.comb[p][key]
 		rs.Add(value)
@@ -191,6 +286,11 @@ func executeMap(job *Job, block *dfs.Block, taskID int, ratio float64, seed int6
 		mapper = job.NewMapper()
 	}
 	emitter := newMapEmitter(job.Reduces, job.Combine, job.LegacyDataPlane, meter, pairsHint)
+	if job.Sketch != nil {
+		if err := emitter.enableSketch(job.Sketch); err != nil {
+			return nil, err
+		}
+	}
 	setup := meter.End(vtime.OpSetup, 1, 0)
 
 	var procSecs float64
@@ -255,6 +355,11 @@ func executeMap(job *Job, block *dfs.Block, taskID int, ratio float64, seed int6
 			out.Combined = emitter.comb[p]
 		} else {
 			out.Pairs = emitter.raw[p]
+		}
+		if emitter.groups != nil {
+			out.groups = emitter.groups
+			out.sketchIDs = emitter.sketchIDs[p]
+			out.sketches = emitter.sketches
 		}
 		res.partitions[p] = out
 	}

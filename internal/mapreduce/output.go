@@ -22,6 +22,8 @@ func WriteText(w io.Writer, res *Result) error {
 	for _, o := range res.Outputs {
 		var err error
 		switch {
+		case o.Lossy:
+			_, err = fmt.Fprintf(w, "%s\t%g\t(combiner-lossy)\n", o.Key, o.Est.Value)
 		case o.Exact:
 			_, err = fmt.Fprintf(w, "%s\t%g\t(exact)\n", o.Key, o.Est.Value)
 		case math.IsNaN(o.Est.Err):
@@ -57,6 +59,7 @@ type jsonOutput struct {
 	Lo         float64 `json:"lo"`                  // interval bounds
 	Hi         float64 `json:"hi"`                  //
 	Unbounded  bool    `json:"unbounded,omitempty"` // no error estimation applies
+	Lossy      bool    `json:"lossy,omitempty"`     // combiner pre-aggregated a non-safe reduce
 }
 
 // jsonResult is the serialized form of a Result.
@@ -86,6 +89,7 @@ func WriteJSON(w io.Writer, res *Result) error {
 			Exact:      o.Exact,
 			Lo:         o.Est.Lo(),
 			Hi:         o.Est.Hi(),
+			Lossy:      o.Lossy,
 		}
 		if math.IsNaN(jo.Epsilon) || math.IsInf(jo.Epsilon, 0) {
 			jo.Epsilon = -1

@@ -18,11 +18,28 @@ type PreciseReduce struct {
 	fn     func(key string, values []float64) float64
 	values map[string][]float64
 	approx bool // sampling or dropping observed
+	// combinerSafe declares fn distributive over per-task sums:
+	// fn(sums of groups) == fn(all values), as for sum/count. Only then
+	// may combined outputs fold to rs.Sum losslessly.
+	combinerSafe bool
+	lossy        bool // a non-safe fn consumed truly combined values
 }
 
-// NewPreciseReduce wraps a classic reduce function.
+// NewPreciseReduce wraps a classic reduce function. The function is
+// assumed NOT combiner-safe: if the job also enables Combine, outputs
+// are flagged Lossy (see CombinerSafe).
 func NewPreciseReduce(fn func(key string, values []float64) float64) *PreciseReduce {
 	return &PreciseReduce{fn: fn, values: make(map[string][]float64)}
+}
+
+// CombinerSafe declares the reduce function distributive over sums —
+// fn applied to per-task partial sums equals fn applied to the raw
+// values, as for sum and count — and returns the receiver. Only such
+// functions compose correctly with Job.Combine; others get their
+// outputs flagged Lossy instead of silently wrong.
+func (r *PreciseReduce) CombinerSafe() *PreciseReduce {
+	r.combinerSafe = true
+	return r
 }
 
 // Consume implements ReduceLogic.
@@ -32,8 +49,15 @@ func (r *PreciseReduce) Consume(out *MapOutput) {
 	}
 	if out.IsCombined() {
 		out.EachCombined(func(key string, rs stats.RunningStat) {
-			// Combined outputs lose individual values; surface the sum,
-			// which is correct for combiner-safe (associative) functions.
+			// Combined outputs lose individual values; the sum is a
+			// correct stand-in only for combiner-safe (distributive)
+			// functions. For others, record that real aggregation
+			// happened (count > 1 means values were actually folded)
+			// so Finalize can mark the result lossy rather than emit a
+			// silently incorrect number.
+			if !r.combinerSafe && rs.Count > 1 {
+				r.lossy = true
+			}
 			r.values[key] = append(r.values[key], rs.Sum)
 		})
 		return
@@ -52,9 +76,9 @@ func (r *PreciseReduce) Finalize(view EstimateView) []KeyEstimate {
 	approx := r.approx || view.Dropped > 0
 	out := make([]KeyEstimate, 0, len(r.values))
 	for key, vals := range r.values {
-		ke := KeyEstimate{Key: key, Exact: !approx}
+		ke := KeyEstimate{Key: key, Exact: !approx && !r.lossy, Lossy: r.lossy}
 		ke.Est = stats.Estimate{Value: r.fn(key, vals), Conf: view.Confidence}
-		if approx {
+		if approx || r.lossy {
 			ke.Est.Err = math.NaN()
 			ke.Est.StdErr = math.NaN()
 		}
@@ -65,7 +89,8 @@ func (r *PreciseReduce) Finalize(view EstimateView) []KeyEstimate {
 }
 
 // SumReduce returns a PreciseReduce that sums each key's values — the
-// standard Hadoop sum reducer used by precise baselines.
+// standard Hadoop sum reducer used by precise baselines. Summation is
+// combiner-safe, so it composes with Job.Combine losslessly.
 func SumReduce() *PreciseReduce {
 	return NewPreciseReduce(func(_ string, vals []float64) float64 {
 		s := 0.0
@@ -73,7 +98,7 @@ func SumReduce() *PreciseReduce {
 			s += v
 		}
 		return s
-	})
+	}).CombinerSafe()
 }
 
 // MeanReduce returns a PreciseReduce averaging each key's values.

@@ -1,0 +1,130 @@
+package mapreduce
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"approxhadoop/internal/sketch"
+)
+
+// SketchKind selects the sketch family a Job.Sketch plan folds
+// EmitElement calls into.
+type SketchKind int
+
+// Sketch plan kinds.
+const (
+	// SketchDistinct counts distinct elements per group with a
+	// HyperLogLog (relative standard error 1.04/sqrt(2^Precision)).
+	SketchDistinct SketchKind = iota + 1
+	// SketchTopK finds the K heaviest elements per group with a
+	// Count-Min sketch plus a bounded candidate set (overestimation
+	// within e/Width of the group's total weight, w.p. 1−e^−Depth).
+	SketchTopK
+	// SketchMembership records element membership per group in a Bloom
+	// filter (no false negatives; FPR from the bit load).
+	SketchMembership
+)
+
+// SketchPlan configures the sketch-emitting map-output representation:
+// when set on a Job, EmitElement calls fold into one fixed-size sketch
+// per group instead of emitting pairs, collapsing the task's shuffle
+// volume from O(elements) to O(groups · sketch size). Zero-valued
+// parameters take the defaults noted per field.
+//
+// Every map task builds its sketches with identical parameters and the
+// same deterministic hash seed, which is what makes them mergeable and
+// the merged result independent of merge order and worker count.
+type SketchPlan struct {
+	Kind SketchKind
+
+	// Precision is the HLL register exponent p in [4, 16] (default 11:
+	// 2048 registers, ~2.3% relative standard error).
+	Precision int
+
+	// Width and Depth shape the Count-Min grid (defaults 256 and 3:
+	// ε ≈ 1.1% of total weight, δ ≈ 5%).
+	Width int
+	Depth int
+
+	// K is the top-k query size (default 10); Candidates bounds each
+	// task's tracked candidate set (default 8·K).
+	K          int
+	Candidates int
+
+	// Bits and Hashes shape the Bloom filter (defaults 4096 and 4).
+	Bits   int
+	Hashes int
+
+	// Seed is the sketch hash seed (default 1). It is deliberately
+	// independent of Job.Seed: sampling seeds vary per task attempt,
+	// sketch seeds must not.
+	Seed int64
+}
+
+// errBadSketchPlan rejects invalid plans at Validate time.
+var errBadSketchPlan = errors.New("mapreduce: invalid Job.Sketch plan")
+
+// normalize applies defaults and validates ranges.
+func (p *SketchPlan) normalize() error {
+	switch p.Kind {
+	case SketchDistinct, SketchTopK, SketchMembership:
+	default:
+		return errBadSketchPlan
+	}
+	if p.Precision == 0 {
+		p.Precision = 11
+	}
+	if p.Width == 0 {
+		p.Width = 256
+	}
+	if p.Depth == 0 {
+		p.Depth = 3
+	}
+	if p.K == 0 {
+		p.K = 10
+	}
+	if p.Candidates == 0 {
+		p.Candidates = 8 * p.K
+	}
+	if p.Bits == 0 {
+		p.Bits = 4096
+	}
+	if p.Hashes == 0 {
+		p.Hashes = 4
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Precision < 4 || p.Precision > 16 || p.Width < 2 || p.Depth < 1 ||
+		p.K < 1 || p.Candidates < p.K || p.Bits < 64 || p.Hashes < 1 || p.Seed < 0 {
+		return errBadSketchPlan
+	}
+	// Construct once to let the sketch package veto anything else.
+	if _, err := p.newSketch(); err != nil {
+		return errBadSketchPlan
+	}
+	return nil
+}
+
+// newSketch builds one empty sketch per the plan.
+func (p *SketchPlan) newSketch() (sketch.Sketch, error) {
+	switch p.Kind {
+	case SketchDistinct:
+		return sketch.NewHLL(uint8(p.Precision), uint64(p.Seed))
+	case SketchTopK:
+		return sketch.NewTopK(uint32(p.K), uint32(p.Candidates), uint32(p.Width), uint32(p.Depth), uint64(p.Seed))
+	case SketchMembership:
+		return sketch.NewBloom(uint64(p.Bits), uint32(p.Hashes), uint64(p.Seed))
+	}
+	return nil, errBadSketchPlan
+}
+
+// totalShuffleBytes is the process-wide shuffle-volume accumulator,
+// mirroring runtime.MemStats ergonomics: benchmarks snapshot it before
+// and after an experiment and report the delta, without threading every
+// Result through.
+var totalShuffleBytes atomic.Int64
+
+// TotalShuffleBytes returns the modeled shuffle bytes delivered to
+// reduces by all jobs in this process since start.
+func TotalShuffleBytes() int64 { return totalShuffleBytes.Load() }

@@ -812,6 +812,9 @@ func (t *tracker) deliver(r *reduceTask, out *MapOutput) {
 }
 
 func (t *tracker) consume(r *reduceTask, out *MapOutput) {
+	sz := out.ShuffleSize()
+	t.counters.ShuffleBytes += sz
+	totalShuffleBytes.Add(sz)
 	t.job.Meter.Begin(vtime.OpReduce)
 	r.logic.Consume(out)
 	n := int64(out.PairLen())

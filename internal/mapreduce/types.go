@@ -14,8 +14,11 @@
 package mapreduce
 
 import (
+	"sort"
+
 	"approxhadoop/internal/cluster"
 	"approxhadoop/internal/dfs"
+	"approxhadoop/internal/sketch"
 	"approxhadoop/internal/stats"
 	"approxhadoop/internal/vtime"
 )
@@ -49,6 +52,49 @@ type Record struct {
 //approx:pure
 type Emitter interface {
 	Emit(key string, value float64)
+}
+
+// ElementEmitter is the grouped-element extension of Emitter that the
+// sketch plane consumes: EmitElement declares "element occurred weight
+// times within group" instead of handing over an opaque (key, value)
+// pair. Under a Job.Sketch plan the framework folds the element into
+// the group's fixed-size sketch; without a plan it degrades to the
+// composite pair group+ElementSep+element (partitioned by group, so
+// each group still lands on exactly one reduce) — the O(keys) baseline
+// the sketch representation is measured against. The framework emitter
+// implements this in both data planes.
+//
+//approx:pure
+type ElementEmitter interface {
+	EmitElement(group, element string, weight float64)
+}
+
+// ElementSep joins group and element in the composite-pair fallback.
+// 0x1f is ASCII Unit Separator — absent from the text workloads.
+const ElementSep = "\x1f"
+
+// EmitElement routes a grouped element through emit: the framework's
+// ElementEmitter fast path when available, otherwise the composite-pair
+// encoding. Mappers for distinct/top-k/membership jobs call this and
+// work identically under both the sketch and pairs representations.
+func EmitElement(emit Emitter, group, element string, weight float64) {
+	if ee, ok := emit.(ElementEmitter); ok {
+		ee.EmitElement(group, element, weight)
+		return
+	}
+	emit.Emit(group+ElementSep+element, weight)
+}
+
+// SplitElement decomposes a composite pair key produced by the
+// EmitElement fallback. Keys without a separator were emitted by plain
+// Emit; they are returned as a bare element with an empty group.
+func SplitElement(key string) (group, element string) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == ElementSep[0] {
+			return key[:i], key[i+1:]
+		}
+	}
+	return "", key
 }
 
 // Mapper is user map() code. One instance is created per map task, so
@@ -144,6 +190,16 @@ type MapOutput struct {
 	Pairs    []KV
 	Combined map[string]stats.RunningStat
 
+	// SketchGroups is the third payload representation (Job.Sketch):
+	// one fixed-size mergeable sketch per group key, so the partition's
+	// shuffle volume is O(groups·sketchSize) regardless of how many
+	// records the task folded — O(1) per partition for bounded group
+	// sets. This map is the construction API for tests; the framework
+	// default is the arena form below. Payload sketches are shared
+	// (attempt results are memoized across speculative attempts), so
+	// consumers must Clone before merging.
+	SketchGroups map[string]sketch.Sketch
+
 	// Arena payload (framework default): keys is the attempt's interner,
 	// shared by all partitions of the attempt; run is this partition's
 	// raw (keyID, value) pairs in emit order; combIDs lists this
@@ -153,6 +209,13 @@ type MapOutput struct {
 	run       []idPair
 	combIDs   []int32
 	combStats []stats.RunningStat
+
+	// Arena sketch payload: groups is the attempt's group interner,
+	// sketchIDs this partition's group IDs in first-emit order, and
+	// sketches the attempt-wide dense sketch slice indexed by group ID.
+	groups    *keyTable
+	sketchIDs []int32
+	sketches  []sketch.Sketch
 }
 
 // idPair is one arena-shuffled intermediate pair: an interned key ID
@@ -169,17 +232,24 @@ func (o *MapOutput) IsCombined() bool {
 	return o.Combined != nil || o.combIDs != nil
 }
 
-// PairLen returns the number of payload entries: raw pairs, or distinct
-// keys for combined outputs. It is the unit count reduce-side cost
-// accounting charges, identical across representations.
+// IsSketch reports whether the output carries per-group sketches.
+func (o *MapOutput) IsSketch() bool {
+	return o.SketchGroups != nil || o.groups != nil
+}
+
+// PairLen returns the number of payload entries: raw pairs, distinct
+// keys for combined outputs, or groups for sketch outputs. It is the
+// unit count reduce-side cost accounting charges, identical across
+// representations.
 func (o *MapOutput) PairLen() int {
+	n := len(o.sketchIDs) + len(o.SketchGroups)
 	if o.keys != nil {
 		if o.combIDs != nil {
-			return len(o.combIDs)
+			return n + len(o.combIDs)
 		}
-		return len(o.run)
+		return n + len(o.run)
 	}
-	return len(o.Pairs) + len(o.Combined)
+	return n + len(o.Pairs) + len(o.Combined)
 }
 
 // EachPair calls fn for every raw pair in shuffle (emit) order. Keys
@@ -217,13 +287,94 @@ func (o *MapOutput) EachCombined(fn func(key string, rs stats.RunningStat)) {
 	}
 }
 
+// EachSketch calls fn for every (group, sketch) of a sketch output.
+// Arena outputs iterate in first-emit order; the legacy SketchGroups
+// map iterates in sorted key order, so both are deterministic. Group
+// keys are durable; sketches are shared payload — Clone before
+// mutating.
+//
+//approx:hotpath
+func (o *MapOutput) EachSketch(fn func(group string, s sketch.Sketch)) {
+	if o.groups != nil {
+		for _, id := range o.sketchIDs {
+			fn(o.groups.Resolve(id), o.sketches[id])
+		}
+		return
+	}
+	if len(o.SketchGroups) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(o.SketchGroups))
+	for g := range o.SketchGroups {
+		keys = append(keys, g)
+	}
+	sort.Strings(keys)
+	for _, g := range keys {
+		fn(g, o.SketchGroups[g])
+	}
+}
+
+// Per-entry wire-size constants for ShuffleSize: what a compact binary
+// shuffle format would spend beyond the key bytes. A raw pair carries a
+// float64 value plus a ~1-byte length prefix; a combined entry carries
+// (count, sum, sumsq) plus the prefix; every entry kind pays the
+// prefix; each output pays a fixed header (task ID and the M_i/m_i
+// cluster counts).
+const (
+	shuffleHeaderBytes   = 24
+	shufflePairBytes     = 9
+	shuffleCombinedBytes = 25
+	shuffleGroupBytes    = 4 // group-key length prefix + sketch length
+)
+
+// ShuffleSize returns the output's modeled shuffle cost in bytes: the
+// size of a compact binary encoding of its payload (sketches use their
+// exact canonical serialized size). This is what Counters.ShuffleBytes
+// accumulates — the quantity the sketch representation collapses from
+// O(keys folded) to O(1) per partition.
+func (o *MapOutput) ShuffleSize() int64 {
+	n := int64(shuffleHeaderBytes)
+	if o.groups != nil {
+		for _, id := range o.sketchIDs {
+			n += int64(len(o.groups.Resolve(id))) + shuffleGroupBytes + int64(o.sketches[id].SizeBytes())
+		}
+	}
+	for g, s := range o.SketchGroups {
+		n += int64(len(g)) + shuffleGroupBytes + int64(s.SizeBytes())
+	}
+	if o.keys != nil {
+		if o.combIDs != nil {
+			for _, id := range o.combIDs {
+				n += int64(len(o.keys.Resolve(id))) + shuffleCombinedBytes
+			}
+		} else {
+			for _, p := range o.run {
+				n += int64(len(o.keys.Resolve(p.id))) + shufflePairBytes
+			}
+		}
+		return n
+	}
+	for _, kv := range o.Pairs {
+		n += int64(len(kv.Key)) + shufflePairBytes
+	}
+	for k := range o.Combined {
+		n += int64(len(k)) + shuffleCombinedBytes
+	}
+	return n
+}
+
 // KeyEstimate is one final (or in-flight) output: a key and its
 // estimate with confidence interval. Exact marks values computed from
 // complete data (no sampling, no dropping), whose interval is zero.
+// Lossy marks values a combiner silently pre-aggregated for a reduce
+// function that is not combiner-safe: the value may be wrong, not just
+// imprecise, and writers surface the marker instead of the number
+// standing alone.
 type KeyEstimate struct {
 	Key   string
 	Est   stats.Estimate
 	Exact bool
+	Lossy bool
 }
 
 // EstimateView gives ReduceLogic the job-level facts needed to evaluate
@@ -338,7 +489,10 @@ type Counters struct {
 	ItemsProcessed     int64
 	BytesRead          int64
 	PairsShuffled      int64
-	Waves              int
+	// ShuffleBytes is the modeled shuffle volume: the summed
+	// MapOutput.ShuffleSize of every output delivered to a reduce.
+	ShuffleBytes int64
+	Waves        int
 }
 
 // Result is the outcome of a job execution.

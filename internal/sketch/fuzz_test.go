@@ -1,0 +1,125 @@
+package sketch
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzElements derives a deterministic element stream from raw fuzz
+// bytes: each byte contributes one short element plus a weight, so the
+// fuzzer controls duplication structure, ordering, and shard skew.
+func fuzzElements(data []byte) ([]string, []uint64) {
+	es := make([]string, 0, len(data))
+	ws := make([]uint64, 0, len(data))
+	for i, b := range data {
+		// Element universe of 64 values with varying lengths; weight
+		// 1..4 exercises the counted sketches.
+		e := string([]byte{'e', b & 0x3f})
+		if b&0x40 != 0 {
+			e += "-long-suffix"
+		}
+		es = append(es, e)
+		ws = append(ws, uint64(b>>6)+1)
+		_ = i
+	}
+	return es, ws
+}
+
+// FuzzSketchMerge is the merge-order/associativity fuzz target for all
+// three sketch families: it shards a fuzz-derived element stream across
+// `shards` sketches, merges them left-to-right, right-to-left, and as a
+// balanced tree, and requires byte-identical canonical serializations —
+// the same property the job-level determinism tests rely on for any
+// Workers count.
+func FuzzSketchMerge(f *testing.F) {
+	f.Add([]byte("approx"), uint8(3))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 250, 251, 252}, uint8(5))
+	f.Add(bytes.Repeat([]byte{0xa5}, 300), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, nshard uint8) {
+		shards := int(nshard%8) + 2
+		es, ws := fuzzElements(data)
+		mks := []func() Sketch{
+			func() Sketch { h, _ := NewHLL(6, 11); return h },
+			func() Sketch { c, _ := NewCMS(32, 3, 11); return c },
+			func() Sketch { k, _ := NewTopK(3, 9, 32, 3, 11); return k },
+			func() Sketch { b, _ := NewBloom(128, 3, 11); return b },
+		}
+		for _, mk := range mks {
+			parts := make([]Sketch, shards)
+			for i := range parts {
+				parts[i] = mk()
+			}
+			for i, e := range es {
+				parts[i%shards].Fold(e, ws[i])
+			}
+			ltr := mk()
+			for _, p := range parts {
+				if err := ltr.Merge(p); err != nil {
+					t.Fatalf("merge: %v", err)
+				}
+			}
+			rtl := mk()
+			for i := len(parts) - 1; i >= 0; i-- {
+				if err := rtl.Merge(parts[i]); err != nil {
+					t.Fatalf("merge: %v", err)
+				}
+			}
+			tree := parts[0].Clone()
+			rest := parts[1:]
+			for len(rest) > 0 {
+				next := make([]Sketch, 0, len(rest)/2+1)
+				for i := 0; i+1 < len(rest); i += 2 {
+					c := rest[i].Clone()
+					if err := c.Merge(rest[i+1]); err != nil {
+						t.Fatalf("merge: %v", err)
+					}
+					next = append(next, c)
+				}
+				if len(rest)%2 == 1 {
+					next = append(next, rest[len(rest)-1])
+				}
+				if len(next) == 1 {
+					if err := tree.Merge(next[0]); err != nil {
+						t.Fatalf("merge: %v", err)
+					}
+					break
+				}
+				rest = next
+			}
+			a, b, c := ltr.AppendBinary(nil), rtl.AppendBinary(nil), tree.AppendBinary(nil)
+			if !bytes.Equal(a, b) || !bytes.Equal(a, c) {
+				t.Fatalf("%s: merge order changed serialized bytes (%d/%d/%d)",
+					ltr.Kind(), len(a), len(b), len(c))
+			}
+		}
+	})
+}
+
+// FuzzSketchDecode feeds arbitrary bytes to Decode: it must never
+// panic, and anything it accepts must re-serialize to the exact input
+// (canonical-form fixed point).
+func FuzzSketchDecode(f *testing.F) {
+	for _, mk := range []func() Sketch{
+		func() Sketch { h, _ := NewHLL(6, 11); return h },
+		func() Sketch { c, _ := NewCMS(32, 3, 11); return c },
+		func() Sketch { k, _ := NewTopK(3, 9, 32, 3, 11); return k },
+		func() Sketch { b, _ := NewBloom(128, 3, 11); return b },
+	} {
+		s := mk()
+		for _, e := range []string{"a", "bb", "ccc", "dddd"} {
+			s.Fold(e, 2)
+		}
+		f.Add(s.AppendBinary(nil))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 1, 6, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(data, s.AppendBinary(nil)) {
+			t.Fatalf("accepted non-canonical encoding (kind %s)", s.Kind())
+		}
+	})
+}

@@ -1,0 +1,246 @@
+package sketch
+
+import (
+	"sort"
+	"strings"
+)
+
+// TopK finds heavy hitters: a Count-Min sketch for frequency estimates
+// plus a bounded candidate set of element keys. The construction keeps
+// the determinism contract that a plain "CMS + top-k heap" breaks:
+// pruning candidates during Merge would make the surviving set depend
+// on merge order, so Merge never prunes — it adds the CMS grids and
+// unions the candidate sets (both commutative and associative). Only
+// Fold, which is strictly local to one map task and therefore sees one
+// deterministic record order, caps the candidate set, evicting by a
+// total order (lowest estimate first, largest key on ties). Top applies
+// the same total order at query time.
+//
+// The candidate cap bounds state: a task sketch carries at most
+// Candidates keys, and a reduce-side merge of t task sketches at most
+// t·Candidates.
+type TopK struct {
+	k       uint32
+	maxCand uint32
+	cms     *CMS
+	cand    map[string]struct{}
+	// minEst caches a lower bound on the weakest candidate's estimate
+	// so Fold can skip the eviction scan for clearly-light elements.
+	// CMS counters only grow, so the bound stays valid until the set
+	// changes; Merge resets it.
+	minEst uint64
+}
+
+// NewTopK builds a heavy-hitter sketch returning the k top elements,
+// tracking up to maxCand ≥ k candidates (slack absorbs estimate noise),
+// over a width×depth Count-Min grid.
+func NewTopK(k, maxCand, width, depth uint32, seed uint64) (*TopK, error) {
+	if k < 1 || maxCand < k || maxCand > 1<<16 {
+		return nil, ErrBadParams
+	}
+	cms, err := NewCMS(width, depth, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &TopK{k: k, maxCand: maxCand, cms: cms, cand: make(map[string]struct{}, maxCand)}, nil
+}
+
+// Kind implements Sketch.
+func (t *TopK) Kind() Kind { return KindTopK }
+
+// K returns the query size k.
+func (t *TopK) K() int { return int(t.k) }
+
+// CMS exposes the underlying Count-Min sketch (for its error story).
+func (t *TopK) CMS() *CMS { return t.cms }
+
+// weaker reports whether candidate (aEst, aKey) ranks below (bEst,
+// bKey) in the keep order: lower estimate loses, ties lose on the
+// lexicographically larger key. This total order is what makes
+// eviction and Top deterministic.
+func weaker(aEst uint64, aKey string, bEst uint64, bKey string) bool {
+	if aEst != bEst {
+		return aEst < bEst
+	}
+	return aKey > bKey
+}
+
+// Fold implements Sketch: counts the element in the CMS and maintains
+// the bounded candidate set. The element string may be a transient
+// buffer view (the push-mode record contract); retained candidates are
+// cloned.
+//
+//approx:hotpath
+func (t *TopK) Fold(element string, count uint64) {
+	t.cms.Fold(element, count)
+	if _, ok := t.cand[element]; ok {
+		return
+	}
+	if len(t.cand) < int(t.maxCand) {
+		t.cand[strings.Clone(element)] = struct{}{}
+		t.minEst = 0
+		return
+	}
+	est := t.cms.Count(element)
+	if est < t.minEst {
+		return
+	}
+	// Scan for the weakest candidate under the total order.
+	wEst := ^uint64(0)
+	wKey := ""
+	for c := range t.cand {
+		ce := t.cms.Count(c)
+		if wEst == ^uint64(0) || weaker(ce, c, wEst, wKey) {
+			wEst, wKey = ce, c
+		}
+	}
+	t.minEst = wEst
+	if weaker(wEst, wKey, est, element) {
+		delete(t.cand, wKey)
+		t.cand[strings.Clone(element)] = struct{}{}
+		t.minEst = 0
+	}
+}
+
+// Merge implements Sketch: CMS addition plus candidate-set union, with
+// no pruning — see the type comment for why.
+func (t *TopK) Merge(other Sketch) error {
+	o, ok := other.(*TopK)
+	if !ok || o.k != t.k || o.maxCand != t.maxCand {
+		return ErrMismatch
+	}
+	if err := t.cms.Merge(o.cms); err != nil {
+		return err
+	}
+	for c := range o.cand {
+		t.cand[c] = struct{}{}
+	}
+	t.minEst = 0
+	return nil
+}
+
+// Entry is one heavy-hitter result.
+type Entry struct {
+	Key   string
+	Count uint64 // CMS estimate: true count ≤ Count ≤ true + ε·W (w.h.p.)
+}
+
+// Top returns up to k entries sorted by (estimate desc, key asc).
+func (t *TopK) Top(k int) []Entry {
+	out := make([]Entry, 0, len(t.cand))
+	for c := range t.cand {
+		out = append(out, Entry{Key: c, Count: t.cms.Count(c)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Clone implements Sketch.
+func (t *TopK) Clone() Sketch {
+	c := &TopK{k: t.k, maxCand: t.maxCand, cms: t.cms.Clone().(*CMS), cand: make(map[string]struct{}, len(t.cand))}
+	for k := range t.cand {
+		c.cand[k] = struct{}{}
+	}
+	return c
+}
+
+// Serialized layout:
+//
+//	byte 0: kind (3)   byte 1: version
+//	u32 k, u32 maxCand,
+//	u32 cmsLen, cmsLen bytes of the embedded CMS,
+//	u32 candidate count, then per candidate uvarint len + bytes,
+//	candidates sorted lexicographically.
+//
+// Sorting the candidate set makes the bytes canonical: the set has no
+// inherent order, the wire form imposes one.
+
+// AppendBinary implements Sketch.
+func (t *TopK) AppendBinary(dst []byte) []byte {
+	dst = append(dst, byte(KindTopK), serialVersion)
+	dst = appendU32(dst, t.k)
+	dst = appendU32(dst, t.maxCand)
+	cms := t.cms.AppendBinary(nil)
+	dst = appendU32(dst, uint32(len(cms)))
+	dst = append(dst, cms...)
+	keys := make([]string, 0, len(t.cand))
+	for c := range t.cand {
+		keys = append(keys, c)
+	}
+	sort.Strings(keys)
+	dst = appendU32(dst, uint32(len(keys)))
+	for _, c := range keys {
+		dst = appendUvarint(dst, uint64(len(c)))
+		dst = append(dst, c...)
+	}
+	return dst
+}
+
+// SizeBytes implements Sketch.
+func (t *TopK) SizeBytes() int {
+	n := 2 + 4 + 4 + 4 + t.cms.SizeBytes() + 4
+	for c := range t.cand {
+		n += uvarintLen(uint64(len(c))) + len(c)
+	}
+	return n
+}
+
+func decodeTopK(b []byte) (Sketch, error) {
+	off := 2
+	k, off, ok := readU32(b, off)
+	if !ok {
+		return nil, ErrCorrupt
+	}
+	maxCand, off, ok := readU32(b, off)
+	if !ok {
+		return nil, ErrCorrupt
+	}
+	cmsLen, off, ok := readU32(b, off)
+	if !ok || off+int(cmsLen) > len(b) {
+		return nil, ErrCorrupt
+	}
+	inner, err := Decode(b[off : off+int(cmsLen)])
+	if err != nil {
+		return nil, err
+	}
+	cms, ok := inner.(*CMS)
+	if !ok {
+		return nil, ErrCorrupt
+	}
+	off += int(cmsLen)
+	t := &TopK{k: k, maxCand: maxCand, cms: cms, cand: make(map[string]struct{})}
+	if t.k < 1 || t.maxCand < t.k || t.maxCand > 1<<16 {
+		return nil, ErrCorrupt
+	}
+	cnt, off, ok := readU32(b, off)
+	if !ok {
+		return nil, ErrCorrupt
+	}
+	prev := ""
+	for i := 0; i < int(cnt); i++ {
+		var n uint64
+		n, off, ok = readUvarint(b, off)
+		if !ok || off+int(n) > len(b) {
+			return nil, ErrCorrupt
+		}
+		c := string(b[off : off+int(n)])
+		off += int(n)
+		if i > 0 && c <= prev {
+			return nil, ErrCorrupt
+		}
+		prev = c
+		t.cand[c] = struct{}{}
+	}
+	if off != len(b) {
+		return nil, ErrCorrupt
+	}
+	return t, nil
+}

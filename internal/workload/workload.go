@@ -280,6 +280,119 @@ func ParseAccess(line string) (Access, bool) {
 }
 
 // ---------------------------------------------------------------------------
+// Wikipedia edit log
+// ---------------------------------------------------------------------------
+
+// EditLog describes a synthetic Wikipedia edit-history log, the input
+// for the sketch-plane queries (distinct editors per project, editor
+// membership). Each line is "epochSecond<TAB>project<TAB>editor<TAB>page".
+// Editor activity is Zipf-skewed (a core of prolific editors plus a
+// long tail), and each block additionally biases toward a per-block
+// window of the editor universe — the temporal locality real edit
+// history has, which keeps per-task distinct counts well below the
+// global count and makes the multi-stage composition observable.
+type EditLog struct {
+	Blocks        int
+	LinesPerBlock int
+	Projects      int // project universe
+	Editors       int // editor universe
+	Pages         int // page universe
+	Seed          int64
+}
+
+// DefaultEditLog is the laptop-scale edit history paired with
+// DefaultAccessLog: fewer blocks (edits are rarer than reads), the
+// same project universe shape.
+func DefaultEditLog() EditLog {
+	return EditLog{Blocks: 120, LinesPerBlock: 2000, Projects: 40, Editors: 5000, Pages: 20000, Seed: 4}
+}
+
+// File materializes the edit log as a generated dfs file. The
+// generator literal runs once per block read, per line — hot-path
+// rules apply.
+//
+//approx:hotpath
+func (e EditLog) File(name string) *dfs.File {
+	if e.Blocks <= 0 {
+		e.Blocks = 1
+	}
+	if e.LinesPerBlock <= 0 {
+		e.LinesPerBlock = 1000
+	}
+	if e.Projects <= 0 {
+		e.Projects = 10
+	}
+	if e.Editors <= 0 {
+		e.Editors = 100
+	}
+	if e.Pages <= 0 {
+		e.Pages = 100
+	}
+	gen := func(idx int, r intSource, bw io.Writer) error {
+		rr := stats.NewRand(r.Int63())
+		projZipf := stats.NewZipf(rr, 1.3, uint64(e.Projects))
+		editorZipf := stats.NewZipf(rr, 1.1, uint64(e.Editors))
+		pageZipf := stats.NewZipf(rr, 1.2, uint64(e.Pages))
+		// Temporal locality: half the edits come from a sliding window
+		// of the editor universe anchored at this block.
+		window := e.Editors / 10
+		if window < 1 {
+			window = 1
+		}
+		winBase := (idx * window / 2) % e.Editors
+		base := int64(idx) * 7200
+		var lb lineBuf
+		for i := 0; i < e.LinesPerBlock; i++ {
+			ts := base + rr.Int63()%7200
+			proj := projZipf.Next()
+			var editor uint64
+			if rr.Intn(2) == 0 {
+				editor = uint64((winBase + rr.Intn(window)) % e.Editors)
+			} else {
+				editor = editorZipf.Next()
+			}
+			page := pageZipf.Next()
+			lb.reset()
+			lb.int(ts)
+			lb.str("\tproj")
+			lb.uint(proj)
+			lb.str("\ted")
+			lb.uint(editor)
+			lb.str("\tpage")
+			lb.uint(page)
+			lb.byte('\n')
+			if err := lb.flush(bw); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	estSize := int64(e.LinesPerBlock) * 30
+	return dfs.GeneratedFile(name, e.Blocks, e.Seed, estSize, int64(e.LinesPerBlock), gen)
+}
+
+// Edit is one parsed edit-log record.
+type Edit struct {
+	Epoch   int64
+	Project string
+	Editor  string
+	Page    string
+}
+
+// ParseEdit parses one edit-log line.
+func ParseEdit(line string) (Edit, bool) {
+	parts := strings.SplitN(line, "\t", 4)
+	if len(parts) != 4 {
+		return Edit{}, false
+	}
+	ts, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		return Edit{}, false
+	}
+	return Edit{Epoch: ts, Project: parts[1], Editor: parts[2], Page: parts[3]}, true
+}
+
+// ---------------------------------------------------------------------------
 // Department web-server log
 // ---------------------------------------------------------------------------
 

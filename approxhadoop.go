@@ -55,6 +55,8 @@ import (
 	"approxhadoop/internal/dfs"
 	"approxhadoop/internal/mapreduce"
 	"approxhadoop/internal/stats"
+	"approxhadoop/internal/stream"
+	"approxhadoop/internal/workload"
 )
 
 // Core MapReduce types re-exported from the runtime.
@@ -324,4 +326,70 @@ func WriteJSON(w io.Writer, res *Result) error { return mapreduce.WriteJSON(w, r
 // one JSON event per line.
 func WriteTraceJSONL(w io.Writer, events []Event) error {
 	return mapreduce.WriteTraceJSONL(w, events)
+}
+
+// Streaming approximation plane (internal/stream): continuous windowed
+// queries over live, virtual-clock paced log streams, with per-window
+// multi-stage estimates and an adaptive sampling controller.
+type (
+	// StreamQuery is a continuous windowed aggregation.
+	StreamQuery = stream.Query
+	// StreamWindow is an event-time window spec (Size/Slide seconds).
+	StreamWindow = stream.Window
+	// StreamSLO is the per-window error/latency objective.
+	StreamSLO = stream.SLO
+	// StreamCost is the analytic per-window latency model.
+	StreamCost = stream.Cost
+	// StreamPlan is one window's sampling plan.
+	StreamPlan = stream.PlanSpec
+	// StreamController retunes each window's plan from the last.
+	StreamController = stream.Controller
+	// StreamPipeline runs one StreamQuery over one StreamSource.
+	StreamPipeline = stream.Pipeline
+	// StreamSource is an event-time record stream.
+	StreamSource = stream.Source
+	// WindowResult is one closed window of the output series.
+	WindowResult = stream.WindowResult
+	// RateFunc is a stream intensity curve (records per second at t).
+	RateFunc = workload.RateFunc
+	// StreamOptions configure replaying a file as a live stream.
+	StreamOptions = workload.StreamOptions
+	// LogStream replays a dfs file as a paced record stream.
+	LogStream = workload.LogStream
+)
+
+// Streaming aggregate ops.
+const (
+	StreamCount = stream.OpCount
+	StreamSum   = stream.OpSum
+	StreamMean  = stream.OpMean
+)
+
+// StreamFromFile wraps a dfs file (SplitText or a workload generator's
+// File) as a live, Poisson-paced stream.
+func StreamFromFile(f *File, opt StreamOptions) *LogStream { return workload.StreamFrom(f, opt) }
+
+// ConstantRate emits perSec records per virtual second.
+func ConstantRate(perSec float64) RateFunc { return workload.ConstantRate(perSec) }
+
+// DiurnalRate is a day-shaped sinusoid base*(1+swing*sin(2πt/period)).
+func DiurnalRate(base, swing, period float64) RateFunc {
+	return workload.DiurnalRate(base, swing, period)
+}
+
+// NewStreamController builds the adaptive per-window controller.
+func NewStreamController(slo StreamSLO, cost StreamCost) *StreamController {
+	return stream.NewController(slo, cost)
+}
+
+// DefaultStreamCost is the default analytic latency model.
+func DefaultStreamCost() StreamCost { return stream.DefaultCost() }
+
+// StreamSeriesBytes renders a window series in its canonical byte
+// form (the determinism contract's unit of account).
+func StreamSeriesBytes(series []WindowResult) []byte { return stream.SeriesBytes(series) }
+
+// WriteWindowSeries writes a header plus one TSV row per window.
+func WriteWindowSeries(w io.Writer, series []WindowResult) error {
+	return stream.WriteSeries(w, series)
 }

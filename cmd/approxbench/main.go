@@ -16,7 +16,7 @@
 //	approxbench -experiment all -parallel 1 -workers 1       # sequential baseline
 //
 // Experiments: table1 table2 fig5 fig6 fig7 fig8 fig9a fig9b fig9c
-// fig10 fig11 fig12 fig13 userdef keyspace sketchpairs sketch
+// fig10 fig11 fig12 fig13 userdef keyspace sketchpairs sketch stream
 // ablations all — or a comma-separated list, e.g.
 //
 //	approxbench -quick -experiment sketchpairs,sketch -json BENCH_pr8.json
@@ -48,6 +48,10 @@ type ExpStat struct {
 	// jobs moved (delta of mapreduce.TotalShuffleBytes around the run):
 	// the column the sketch-compressed representation is judged on.
 	ShuffleBytes int64 `json:"shuffle_bytes"`
+	// Stream carries the windowed-accuracy report of the "stream"
+	// experiment: per-window realized error vs claimed CI, coverage,
+	// and the SLO-violation count across the input-rate swing.
+	Stream *harness.StreamReport `json:"stream,omitempty"`
 }
 
 // Trajectory is the schema of -json output (e.g. BENCH_pr3.json).
@@ -112,6 +116,9 @@ func main() {
 		name string
 		run  func() error
 	}
+	// streamReport is filled by the "stream" experiment and attached to
+	// its ExpStat so the trajectory file records the SLO evidence.
+	var streamReport *harness.StreamReport
 	all := []exp{
 		{"table1", func() error { _, err := r.Table1(); return err }},
 		{"table2", func() error { _, err := r.Table2(); return err }},
@@ -131,6 +138,11 @@ func main() {
 		{"sketchpairs", func() error { _, err := r.SketchPairs(); return err }},
 		{"sketch", func() error { _, err := r.Sketch(); return err }},
 		{"sketchcmp", func() error { _, err := r.SketchCompare(); return err }},
+		{"stream", func() error {
+			rep, err := r.StreamAccuracy()
+			streamReport = rep
+			return err
+		}},
 		{"ablations", func() error {
 			if _, err := r.AblationTaskOrder(); err != nil {
 				return err
@@ -184,7 +196,9 @@ func main() {
 			AllocBytes:   after.TotalAlloc - before.TotalAlloc,
 			Mallocs:      after.Mallocs - before.Mallocs,
 			ShuffleBytes: mapreduce.TotalShuffleBytes() - shuffleBefore,
+			Stream:       streamReport,
 		})
+		streamReport = nil
 		fmt.Printf("\n[%s completed in %.1fs wall time]\n", e.name, wall)
 	}
 	if !ran {

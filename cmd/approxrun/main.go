@@ -13,6 +13,8 @@
 //	approxrun -app pagepop -sample 0.25 -trace events.jsonl
 //	approxrun -app wikidistinct -sketch    # sketch-compressed shuffle
 //	approxrun -app toppages -sketch
+//	approxrun -stream -app web-bytes -window 10 -slo-err 0.05 -windows 20
+//	approxrun -stream -app edit-rate -window 6 -slo-latency 0.05 -format tsv
 //
 // Apps: wikilength wikipagerank projectpop pagepop pagetraffic
 // wikirate webrate attacks totalsize requestsize clients browsers
@@ -22,6 +24,13 @@
 // run the exact composite-pairs representation, with it the map output
 // collapses to one sketch per (partition, group). The shuffle-bytes
 // counter printed after the run shows the difference.
+//
+// -stream switches to the streaming plane: the app's workload file is
+// replayed as a live, diurnally paced stream and the continuous query
+// (edit-rate | web-bytes) emits one estimate per event-time window.
+// The window series is deterministic for a fixed (-app, -seed, rate
+// flags) regardless of -workers; -format tsv prints the canonical
+// byte-stable series for CI diffs across runs and worker counts.
 package main
 
 import (
@@ -38,6 +47,7 @@ import (
 	"approxhadoop/internal/dfs"
 	"approxhadoop/internal/harness"
 	"approxhadoop/internal/mapreduce"
+	"approxhadoop/internal/stream"
 	"approxhadoop/internal/workload"
 )
 
@@ -59,6 +69,16 @@ func main() {
 
 		sketch = flag.Bool("sketch", false, "use the sketch-compressed map-output representation (sketch-plane apps only)")
 
+		streamMode = flag.Bool("stream", false, "run a streaming-plane continuous query (-app edit-rate | web-bytes)")
+		window     = flag.Float64("window", 10, "stream: event-time window size in virtual seconds")
+		slide      = flag.Float64("slide", 0, "stream: window slide in virtual seconds (0 = tumbling)")
+		sloErr     = flag.Float64("slo-err", 0, "stream: target per-window relative error at 95% confidence (0 disables)")
+		sloLatency = flag.Float64("slo-latency", 0, "stream: per-window modeled latency budget in seconds (0 disables)")
+		windows    = flag.Int("windows", 12, "stream: stop after N windows (0 = drain the source)")
+		rate       = flag.Float64("rate", 400, "stream: base arrival rate, records per virtual second")
+		swing      = flag.Float64("swing", 0.5, "stream: diurnal rate swing in [0,1) (0.5 = 3x trough-to-peak)")
+		period     = flag.Float64("period", 120, "stream: diurnal period in virtual seconds")
+
 		trace      = flag.String("trace", "", "write the job's scheduling-event log as JSONL to this file (\"-\" for stdout)")
 		workers    = flag.Int("workers", 0, "map-compute worker pool size (0 = GOMAXPROCS, 1 = inline); results are identical for any value")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -79,6 +99,74 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	scaleN := func(n int) int {
+		v := int(float64(n) * *scale)
+		if v < 10 {
+			v = 10
+		}
+		return v
+	}
+
+	if *streamMode {
+		var rf workload.RateFunc
+		if *swing > 0 {
+			rf = workload.DiurnalRate(*rate, *swing, *period)
+		} else {
+			rf = workload.ConstantRate(*rate)
+		}
+		sOpts := apps.StreamOptions{
+			Seed:       *seed,
+			Rate:       rf,
+			Window:     stream.Window{Size: *window, Slide: *slide},
+			SLO:        stream.SLO{TargetRelErr: *sloErr, MaxLatency: *sloLatency},
+			Workers:    *workers,
+			MaxWindows: *windows,
+		}
+		var p *stream.Pipeline
+		switch *app {
+		case "edit-rate":
+			e := workload.DefaultEditLog()
+			e.LinesPerBlock = scaleN(e.LinesPerBlock)
+			p = apps.EditRateStream(e, sOpts)
+		case "web-bytes":
+			w := workload.DefaultWebLog()
+			w.LinesPerBlock = scaleN(w.LinesPerBlock)
+			p = apps.WebBytesStream(w, sOpts)
+		default:
+			fmt.Fprintf(os.Stderr, "approxrun: unknown stream app %q (have: %v)\n", *app, apps.StreamApps())
+			os.Exit(2)
+		}
+		series, err := p.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "approxrun: %v\n", err)
+			os.Exit(1)
+		}
+		if *format == "tsv" {
+			if err := stream.WriteSeries(os.Stdout, series); err != nil {
+				fmt.Fprintf(os.Stderr, "approxrun: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Printf("%s: %d windows of %gs (slide %gs)\n\n", *app, len(series), *window, p.Query.Window.Slide)
+		for _, r := range series {
+			tag := ""
+			switch {
+			case r.Exact:
+				tag = " exact"
+			case r.Degraded:
+				tag = fmt.Sprintf(" keep=%.2f", r.Plan.KeepFrac)
+			}
+			if r.Partial {
+				tag += " partial"
+			}
+			fmt.Printf("[%6.1f,%6.1f) %-8s %14.1f ± %-12.1f  n=%-6d f=%.3f lat=%.3fs%s\n",
+				r.Start, r.End, p.Query.Op.String(), r.Est.Value, r.Est.Err,
+				r.Records, r.Ratio(), r.Latency, tag)
+		}
+		return
+	}
+
 	var ctl mapreduce.Controller
 	switch {
 	case *target > 0 && *app == "dcplacement":
@@ -92,13 +180,6 @@ func main() {
 	}
 
 	opts := apps.Options{Controller: ctl, Seed: *seed, Cost: harness.PaperCost()}
-	scaleN := func(n int) int {
-		v := int(float64(n) * *scale)
-		if v < 10 {
-			v = 10
-		}
-		return v
-	}
 	wiki := func() *dfs.File {
 		w := workload.DefaultWikiDump()
 		w.ArticlesPerBlock = scaleN(w.ArticlesPerBlock)

@@ -168,6 +168,10 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	fset := token.NewFileSet()
 	imp := srcImporter{idx: idx, gc: importer.ForCompiler(fset, "gc", idx.Lookup)}
 	var out []*Package
+	// Pass 1: the targets themselves, in the dependency order go list
+	// -deps emits, so imports between targets resolve to source-checked
+	// packages rather than export data (mixing the two gives the same
+	// type two identities).
 	for _, p := range targets {
 		if len(p.CgoFiles) > 0 {
 			return nil, fmt.Errorf("analysis: %s uses cgo, which the loader does not support", p.ImportPath)
@@ -184,7 +188,17 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 			idx.source[p.ImportPath] = pkg.Types
 			out = append(out, pkg)
 		}
-		if l.Tests && len(p.XTestGoFiles) > 0 {
+	}
+	// Pass 2: external test packages, after every target is source-
+	// checked. An external test may import sibling targets beyond the
+	// package under test (a stream test driving the apps catalog);
+	// checking it inside pass 1 would resolve later siblings from
+	// export data and collide with their source-checked identities.
+	if l.Tests {
+		for _, p := range targets {
+			if len(p.XTestGoFiles) == 0 {
+				continue
+			}
 			xpkg, err := checkFiles(fset, p.ImportPath+"_test", p.Dir, p.XTestGoFiles, imp)
 			if err != nil {
 				return nil, err

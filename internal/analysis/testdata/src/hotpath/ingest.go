@@ -1,0 +1,31 @@
+// Stream-ingest shapes: the router's per-record loop must route,
+// stratify, and batch with zero allocations per record.
+package hot
+
+import "fmt"
+
+// shardLike doubles for a stream shard's event arena.
+type shardLike struct {
+	buf []byte
+	evs []int32
+}
+
+// ingest mirrors the stream router's per-record loop: subslice
+// stratify and arena appends are the sanctioned idiom; the per-record
+// conveniences below each allocate.
+//
+//approx:hotpath
+func ingest(lines [][]byte, sh *shardLike) int {
+	n := 0
+	for _, line := range lines {
+		stratum := line[:4] // subslice: allocation-free
+		name := string(stratum)             // want: hotpath
+		tag := fmt.Sprintf("s=%s", stratum) // want: hotpath
+		evs := append(sh.evs, int32(len(sh.buf))) // want: hotpath
+		_ = evs
+		sh.buf = append(sh.buf, line...) // hinted append: sanctioned
+		sh.evs = append(sh.evs, int32(len(name)+len(tag)))
+		n++
+	}
+	return n
+}

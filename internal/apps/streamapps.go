@@ -1,0 +1,152 @@
+// Streaming scenario catalog: continuous queries over the live wiki
+// edit and web access streams. Each builder pairs a workload
+// generator's stream with a stream.Query the way the batch builders
+// pair files with Jobs, so cmd/approxrun, the jobserver and the
+// harness all submit the same scenarios by name.
+package apps
+
+import (
+	"approxhadoop/internal/dfs"
+	"approxhadoop/internal/stream"
+	"approxhadoop/internal/workload"
+)
+
+// StreamOptions configure a streaming scenario.
+type StreamOptions struct {
+	// Seed drives the source jitter and every reservoir (default 1).
+	Seed int64
+	// Rate is the arrival intensity curve (default: diurnal around
+	// 400 rec/s swinging 0.5, i.e. a 3x trough-to-peak excursion).
+	Rate workload.RateFunc
+	// Window spec (default: 10s tumbling).
+	Window stream.Window
+	// SLO for the adaptive controller; the zero value runs with a
+	// fixed plan.
+	SLO stream.SLO
+	// Capacity is the starting per-stratum reservoir size (default
+	// stream.Query default, 64).
+	Capacity int
+	// Workers sizes the fold pool (byte-invisible; 0 = GOMAXPROCS).
+	Workers int
+	// MaxWindows stops the stream after N windows (0 = drain source).
+	MaxWindows int
+	// Cost overrides the latency model (zero value = DefaultCost).
+	Cost stream.Cost
+}
+
+func (o StreamOptions) withDefaults() StreamOptions {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Rate == nil {
+		o.Rate = workload.DiurnalRate(400, 0.5, 120)
+	}
+	if o.Window.Size <= 0 {
+		o.Window = stream.Window{Size: 10}
+	}
+	return o
+}
+
+// controller builds the adaptive controller when the SLO asks for one.
+func (o StreamOptions) controller() *stream.Controller {
+	if o.SLO == (stream.SLO{}) {
+		return nil
+	}
+	return stream.NewController(o.SLO, o.Cost)
+}
+
+// fileProvider is the workload-generator shape the builders need: all
+// generators expose their dataset as a named dfs file.
+type fileProvider interface {
+	File(name string) *dfs.File
+}
+
+// pipeline assembles the common Pipeline scaffolding around a query.
+func (o StreamOptions) pipeline(q stream.Query, f fileProvider) *stream.Pipeline {
+	q.Window = o.Window
+	q.SLO = o.SLO
+	q.Seed = o.Seed
+	q.Capacity = o.Capacity
+	return &stream.Pipeline{
+		Query:      q,
+		Source:     workload.StreamFrom(f.File("stream-input"), workload.StreamOptions{Rate: o.Rate, Seed: o.Seed}),
+		Workers:    o.Workers,
+		Controller: o.controller(),
+		Cost:       o.Cost,
+		MaxWindows: o.MaxWindows,
+	}
+}
+
+// tsvField returns the idx-th tab-separated field of line, nil when
+// the field does not exist.
+func tsvField(line []byte, idx int) []byte {
+	start := 0
+	field := 0
+	for i := 0; i <= len(line); i++ {
+		if i == len(line) || line[i] == '\t' {
+			if field == idx {
+				return line[start:i]
+			}
+			field++
+			start = i + 1
+		}
+	}
+	return nil
+}
+
+// atoiBytes parses a non-negative decimal integer without allocating;
+// ok is false for empty or non-numeric input.
+func atoiBytes(b []byte) (int64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var n int64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(c-'0')
+	}
+	return n, true
+}
+
+// EditRateStream counts wiki edits per window, stratified by project
+// (the EditLog's ~40 natural substreams): a live edits-per-interval
+// dashboard. Count queries sample nothing per-unit; their only
+// degradation lever is stratum shedding under latency pressure.
+func EditRateStream(gen workload.EditLog, opts StreamOptions) *stream.Pipeline {
+	opts = opts.withDefaults()
+	q := stream.Query{
+		Name: "edit-rate",
+		Op:   stream.OpCount,
+		Stratify: func(line []byte) []byte {
+			return tsvField(line, 1) // project
+		},
+	}
+	return opts.pipeline(q, gen)
+}
+
+// WebBytesStream estimates bytes served per window from the web
+// access stream. Clients are hashed into 32 fixed substreams
+// (StreamApprox's bounded stratification for high-cardinality keys),
+// and the heavy-tailed per-request byte sizes are what the per-stratum
+// reservoirs sample.
+func WebBytesStream(gen workload.WebLog, opts StreamOptions) *stream.Pipeline {
+	opts = opts.withDefaults()
+	q := stream.Query{
+		Name: "web-bytes",
+		Op:   stream.OpSum,
+		Stratify: func(line []byte) []byte {
+			return tsvField(line, 0) // client id
+		},
+		Value: func(line []byte) (float64, bool) {
+			n, ok := atoiBytes(tsvField(line, 3))
+			return float64(n), ok
+		},
+		Buckets: 32,
+	}
+	return opts.pipeline(q, gen)
+}
+
+// StreamApps lists the streaming scenario names for CLI catalogs.
+func StreamApps() []string { return []string{"edit-rate", "web-bytes"} }

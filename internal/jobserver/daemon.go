@@ -25,11 +25,16 @@ var ErrClosed = errors.New("jobserver: daemon stopped")
 // /v1/replay endpoint is the one-request equivalent for callers that
 // already hold the whole trace.
 type Daemon struct {
-	svc  *Service
-	cmds chan func()
-	stop chan struct{}
-	done chan struct{}
-	once sync.Once
+	svc *Service
+	// streams is the continuous-query registry. Streams live outside
+	// the driver goroutine: their pipelines never touch the shared
+	// engine's virtual timeline (see streams.go), so they need none of
+	// the mailbox discipline batch jobs do.
+	streams *StreamSet
+	cmds    chan func()
+	stop    chan struct{}
+	done    chan struct{}
+	once    sync.Once
 
 	// RequestTimeout bounds quick HTTP endpoints via
 	// http.TimeoutHandler (0 = unlimited); MaxBody bounds POST request
@@ -48,6 +53,7 @@ type Daemon struct {
 func NewDaemon(svc *Service, hold bool) *Daemon {
 	d := &Daemon{
 		svc:     svc,
+		streams: NewStreamSet(svc.cfg.MaxActive, svc.cfg.Workers),
 		cmds:    make(chan func(), 64),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
@@ -56,6 +62,9 @@ func NewDaemon(svc *Service, hold bool) *Daemon {
 	go d.loop()
 	return d
 }
+
+// Streams returns the continuous-query registry.
+func (d *Daemon) Streams() *StreamSet { return d.streams }
 
 // Service returns the underlying service (read-only methods are safe
 // from any goroutine).
@@ -106,9 +115,11 @@ func (d *Daemon) do(fn func()) error {
 	}
 }
 
-// Stop shuts the driver down and wakes every stream waiter.
+// Stop shuts the driver down and wakes every stream waiter. Running
+// continuous queries are stopped at their next window.
 func (d *Daemon) Stop() {
 	d.once.Do(func() {
+		d.streams.Close()
 		close(d.stop)
 		<-d.done
 		d.svc.Close()

@@ -29,6 +29,10 @@ import (
 //	GET    /v1/stats         service counters
 //	GET    /healthz          liveness; 503 once the journal has failed
 //	GET    /readyz           readiness; 503 while draining (Retry-After)
+//
+// The /v1/streams routes (streamhttp.go) are the continuous-query API
+// of the streaming plane: open a StreamSpec, watch its per-window
+// estimates as Seq-resumable JSONL frames, stop it.
 
 // WireEstimate is the JSON-safe form of one KeyEstimate.
 type WireEstimate struct {
@@ -163,6 +167,11 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/replay", d.handleReplay)
 	mux.HandleFunc("POST /v1/release", d.handleRelease)
 	mux.Handle("GET /v1/stats", quick(d.handleStats))
+	mux.Handle("POST /v1/streams", quick(d.handleStreamOpen))
+	mux.Handle("GET /v1/streams", quick(d.handleStreamList))
+	mux.Handle("GET /v1/streams/{id}", quick(d.handleStreamGet))
+	mux.Handle("DELETE /v1/streams/{id}", quick(d.handleStreamStop))
+	mux.HandleFunc("GET /v1/streams/{id}/watch", d.handleStreamWatch)
 	mux.Handle("GET /healthz", quick(d.handleHealthz))
 	mux.Handle("GET /readyz", quick(d.handleReadyz))
 	return mux

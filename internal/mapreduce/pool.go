@@ -74,36 +74,72 @@ func (p *computePool) start() {
 // apply results in batch order, which is what keeps the virtual
 // timeline independent of pool size.
 func (p *computePool) runAll(batch []*pendingLaunch) {
-	var todo []*pendingLaunch
+	var todo []func()
 	for _, pl := range batch {
 		if pl.res == nil && pl.run != nil {
-			todo = append(todo, pl)
+			pl := pl
+			todo = append(todo, func() { pl.res, pl.err = pl.run() })
 		}
 	}
-	if len(todo) == 0 {
+	p.runFuncs(todo)
+}
+
+// runFuncs executes every task and returns when all have finished.
+// Single-worker pools, single-task batches, and pools already torn
+// down (a fail() mid-pass) all resolve inline on the caller's
+// goroutine; otherwise tasks fan out across the persistent workers.
+// Tasks must be independent: they may not submit to the pool
+// themselves and must confine writes to state no other task touches.
+func (p *computePool) runFuncs(tasks []func()) {
+	if len(tasks) == 0 {
 		return
 	}
-	if p.workers <= 1 || len(todo) == 1 || p.closed {
-		// Inline execution: single-worker pools, single-entry batches,
-		// and the tail flush of a job whose pool was already torn down
-		// (a fail() mid-pass) all resolve on the scheduler goroutine.
-		for _, pl := range todo {
-			pl.res, pl.err = pl.run()
+	if p.workers <= 1 || len(tasks) == 1 || p.closed {
+		for _, f := range tasks {
+			f()
 		}
 		return
 	}
 	p.once.Do(p.start)
 	var wg sync.WaitGroup
-	wg.Add(len(todo))
-	for _, pl := range todo {
-		pl := pl
+	wg.Add(len(tasks))
+	for _, f := range tasks {
+		f := f
 		p.jobs <- func() {
 			defer wg.Done()
-			pl.res, pl.err = pl.run()
+			f()
 		}
 	}
 	wg.Wait()
 }
+
+// ComputePool is the exported face of the compute-plane worker pool,
+// for subsystems outside the batch tracker (the streaming plane's
+// per-shard reservoir folds) that follow the same two-plane contract:
+// a single-threaded scheduler decides batches of pure, disjoint-state
+// tasks, runs them through the pool, and applies the outcomes in
+// decide order so the worker count is byte-invisible in every result.
+type ComputePool struct {
+	p *computePool
+}
+
+// NewComputePool sizes a pool; workers <= 0 means GOMAXPROCS and
+// workers == 1 executes everything inline on the caller's goroutine.
+func NewComputePool(workers int) *ComputePool {
+	return &ComputePool{p: newComputePool(workers)}
+}
+
+// Run executes every task, returning once all have finished. Tasks
+// must be independent: no two may touch the same state, and none may
+// call back into the pool. Results must be gathered by the caller in
+// a deterministic order of its own (never completion order).
+func (c *ComputePool) Run(tasks []func()) { c.p.runFuncs(tasks) }
+
+// Workers reports the resolved pool size.
+func (c *ComputePool) Workers() int { return c.p.workers }
+
+// Close shuts the workers down; later Run calls execute inline.
+func (c *ComputePool) Close() { c.p.close() }
 
 // close shuts the workers down; later runAll calls execute inline.
 func (p *computePool) close() {

@@ -1,0 +1,431 @@
+// Pipeline execution: the router/scheduler plane of the stream.
+//
+// All window lifecycle decisions — opening windows (snapshotting the
+// controller's plan), flushing batches, closing windows, feeding the
+// controller — happen on the single goroutine driving Run. The only
+// concurrent code is shard.foldBatch, a pure compute task over state
+// no other shard touches, dispatched through mapreduce.ComputePool and
+// gathered back in shard order. That separation is what makes
+// Pipeline.Workers byte-invisible in the emitted series.
+package stream
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"strconv"
+
+	"approxhadoop/internal/mapreduce"
+)
+
+// flushBudget bounds the bytes (plus a fixed per-event charge) batched
+// between fold flushes. It only affects wall-clock batching, never the
+// series: fold order within a stratum is record order regardless of
+// where flush boundaries fall, and the boundaries themselves are a
+// deterministic function of the record sizes.
+const flushBudget = 1 << 20
+
+// eventOverhead is the per-event charge against flushBudget, so
+// count-style queries that batch no line bytes still flush regularly.
+const eventOverhead = 48
+
+// errStopIngest stops the source cleanly once MaxWindows have closed.
+var errStopIngest = errors.New("stream: window budget reached")
+
+// Pipeline runs one Query over one Source.
+type Pipeline struct {
+	Query  Query
+	Source Source
+
+	// Workers sizes the compute pool for reservoir folds (0 =
+	// GOMAXPROCS, 1 = inline). Never part of the query identity.
+	Workers int
+
+	// Controller, when set, retunes each window's PlanSpec from the
+	// previous window's realized error and modeled latency. Nil runs
+	// the query's fixed plan (Capacity, KeepFrac 1) forever.
+	Controller *Controller
+
+	// Cost is the analytic latency model (zero value = DefaultCost).
+	Cost Cost
+
+	// MaxWindows stops the stream after this many closed windows
+	// (0 = run until the source drains).
+	MaxWindows int
+}
+
+// event is one routed record awaiting fold: offsets into the owning
+// shard's byte arena instead of slices, so a batch is two flat
+// allocations however many records it holds.
+type event struct {
+	t                float64
+	key              uint64
+	nameOff, nameLen int32
+	lineOff, lineLen int32
+}
+
+// stratumState is the per-(window, stratum) fold state. It lives in
+// exactly one shard.
+type stratumState struct {
+	name     string
+	count    int64 // records observed (M_h)
+	shed     bool
+	res      *reservoir // nil when shed or OpCount
+	admitted int64      // reservoir admissions (value parses)
+}
+
+// winShard is one window's strata within one shard.
+type winShard struct {
+	strata map[uint64]*stratumState
+}
+
+// shard owns a disjoint set of strata (stratum key mod Shards). The
+// router fills buf/evs; foldBatch consumes them on the compute plane;
+// win/plans are written by the router only between fold batches.
+type shard struct {
+	cfg *foldConfig
+
+	buf []byte
+	evs []event
+
+	win   map[int64]*winShard
+	plans map[int64]PlanSpec
+}
+
+// foldConfig is the read-only query excerpt the compute plane sees.
+type foldConfig struct {
+	op          Op
+	seed        int64
+	size, slide float64
+	bucketed    bool
+
+	//approx:pure
+	value func(line []byte) (float64, bool)
+}
+
+// newStratum materializes fold state for a stratum first seen in
+// window k, applying the window's plan: the shedding coin and the
+// reservoir seed are pure functions of (seed, window, stratum), so
+// the outcome is identical no matter when or where the stratum shows
+// up.
+func (s *shard) newStratum(k int64, ev *event) *stratumState {
+	st := &stratumState{}
+	if s.cfg.bucketed {
+		st.name = string(strconv.AppendUint([]byte("b"), ev.key, 10))
+	} else {
+		st.name = string(s.buf[ev.nameOff : ev.nameOff+ev.nameLen])
+	}
+	plan := s.plans[k]
+	if plan.KeepFrac < 1 && keepCoin(s.cfg.seed, k, ev.key) >= plan.KeepFrac {
+		st.shed = true
+		return st
+	}
+	if s.cfg.op != OpCount {
+		st.res = newReservoir(plan.Capacity, stratumSeed(s.cfg.seed, k, ev.key))
+	}
+	return st
+}
+
+// foldBatch folds every batched event into its windows' strata:
+// bump the stratum count, offer the record to the reservoir, parse the
+// value only on admission. Pure compute over shard-private state; runs
+// on pool workers.
+//
+//approx:compute
+func (s *shard) foldBatch() {
+	cfg := s.cfg
+	for i := range s.evs {
+		ev := &s.evs[i]
+		kHi := int64(math.Floor(ev.t / cfg.slide))
+		kLo := int64(math.Floor((ev.t-cfg.size)/cfg.slide)) + 1
+		if kLo < 0 {
+			kLo = 0
+		}
+		for k := kLo; k <= kHi; k++ {
+			ws := s.win[k]
+			if ws == nil {
+				ws = &winShard{strata: make(map[uint64]*stratumState)}
+				s.win[k] = ws
+			}
+			st := ws.strata[ev.key]
+			if st == nil {
+				st = s.newStratum(k, ev)
+				ws.strata[ev.key] = st
+			}
+			st.count++
+			if st.shed || st.res == nil {
+				continue
+			}
+			slot := st.res.admit()
+			if slot < 0 {
+				continue
+			}
+			v, ok := cfg.value(s.buf[ev.lineOff : ev.lineOff+ev.lineLen])
+			if !ok {
+				v = 0
+			}
+			st.res.vals[slot] = v
+			st.admitted++
+		}
+	}
+	s.buf = s.buf[:0]
+	s.evs = s.evs[:0]
+}
+
+// runState is the router's mutable state for one Run.
+type runState struct {
+	q      Query
+	shards []*shard
+	pool   *mapreduce.ComputePool
+	ctrl   *Controller
+	cost   Cost
+
+	plan     PlanSpec           // applied to windows opened from now on
+	winPlans map[int64]PlanSpec // plan each open window runs under
+
+	maxOpened  int64 // highest window index opened
+	nextClose  int64 // next window index to close
+	closed     int
+	maxWindows int
+	batched    int
+
+	emit func(WindowResult) error
+}
+
+// Run executes the pipeline until the source drains or MaxWindows
+// close, returning the full window series.
+func (p *Pipeline) Run() ([]WindowResult, error) {
+	var series []WindowResult
+	err := p.RunEach(func(r WindowResult) error {
+		series = append(series, r)
+		return nil
+	})
+	return series, err
+}
+
+// RunEach executes the pipeline, invoking fn once per closed window in
+// index order. fn errors abort the stream and are returned verbatim.
+func (p *Pipeline) RunEach(fn func(WindowResult) error) error {
+	q, err := p.Query.normalized()
+	if err != nil {
+		return err
+	}
+	if p.Source == nil {
+		return errors.New("stream: pipeline needs a Source")
+	}
+	cost := p.Cost.normalized()
+	plan := PlanSpec{Capacity: q.Capacity, KeepFrac: 1}
+	ctrl := p.Controller
+	if ctrl != nil {
+		plan = ctrl.init(q, cost)
+	}
+	cfg := &foldConfig{
+		op:       q.Op,
+		seed:     q.Seed,
+		size:     q.Window.Size,
+		slide:    q.Window.Slide,
+		bucketed: q.Buckets > 0,
+		value:    q.Value,
+	}
+	st := &runState{
+		q:          q,
+		shards:     make([]*shard, q.Shards),
+		pool:       mapreduce.NewComputePool(p.Workers),
+		ctrl:       ctrl,
+		cost:       cost,
+		plan:       plan,
+		winPlans:   make(map[int64]PlanSpec),
+		maxOpened:  -1,
+		maxWindows: p.MaxWindows,
+		emit:       fn,
+	}
+	defer st.pool.Close()
+	for i := range st.shards {
+		st.shards[i] = &shard{
+			cfg:   cfg,
+			win:   make(map[int64]*winShard),
+			plans: make(map[int64]PlanSpec),
+		}
+	}
+	err = p.Source.Run(st.ingest)
+	if err != nil {
+		if errors.Is(err, errStopIngest) {
+			return nil
+		}
+		return err
+	}
+	// Source drained: flush the tail and close every open window as
+	// partial (cut by stream end rather than the watermark).
+	st.flush()
+	for k := st.nextClose; k <= st.maxOpened; k++ {
+		if st.maxWindows > 0 && st.closed >= st.maxWindows {
+			break
+		}
+		if err := st.closeWindow(k, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ingest routes one record: stratify, hash to a stratum key, advance
+// the watermark (flushing and closing windows whose end has passed),
+// and batch the event into its stratum's shard. This is the per-record
+// hot loop of the plane.
+//
+//approx:hotpath
+func (st *runState) ingest(t float64, line []byte) error {
+	strat := st.q.Stratify(line)
+	if strat == nil {
+		return nil
+	}
+	key := fnv1a(strat)
+	if st.q.Buckets > 0 {
+		key %= uint64(st.q.Buckets)
+	}
+	kHi := int64(math.Floor(t / st.q.Window.Slide))
+	if kHi > st.maxOpened {
+		if err := st.advance(t, kHi); err != nil {
+			return err
+		}
+	}
+	sh := st.shards[key%uint64(len(st.shards))]
+	ev := event{t: t, key: key}
+	if st.q.Buckets == 0 {
+		ev.nameOff = int32(len(sh.buf))
+		ev.nameLen = int32(len(strat))
+		sh.buf = append(sh.buf, strat...)
+	}
+	if st.q.Op != OpCount {
+		ev.lineOff = int32(len(sh.buf))
+		ev.lineLen = int32(len(line))
+		sh.buf = append(sh.buf, line...)
+	}
+	sh.evs = append(sh.evs, ev)
+	st.batched += int(ev.nameLen) + int(ev.lineLen) + eventOverhead
+	if st.batched >= flushBudget {
+		st.flush()
+	}
+	return nil
+}
+
+// advance moves the watermark to kHi: closes every window whose end
+// time has passed (flushing batched folds first so their state is
+// complete) and opens the new windows under the controller's current
+// plan.
+func (st *runState) advance(t float64, kHi int64) error {
+	closeThrough := int64(math.Floor((t - st.q.Window.Size) / st.q.Window.Slide))
+	if closeThrough > st.maxOpened {
+		// Windows the stream skipped entirely (a rate trough longer
+		// than a window) still emit, as empty rows; open them first so
+		// the series stays gap-free.
+		st.openThrough(closeThrough)
+	}
+	if st.nextClose <= closeThrough {
+		st.flush()
+		for k := st.nextClose; k <= closeThrough; k++ {
+			if err := st.closeWindow(k, false); err != nil {
+				return err
+			}
+			if st.maxWindows > 0 && st.closed >= st.maxWindows {
+				return errStopIngest
+			}
+		}
+		st.nextClose = closeThrough + 1
+	}
+	st.openThrough(kHi)
+	return nil
+}
+
+// openThrough snapshots the current plan into every window up to and
+// including kHi. Fold tasks read the snapshot from their shard's plan
+// table, so a plan change mid-stream only ever affects windows opened
+// after it.
+func (st *runState) openThrough(kHi int64) {
+	for k := st.maxOpened + 1; k <= kHi; k++ {
+		st.winPlans[k] = st.plan
+		for _, sh := range st.shards {
+			sh.plans[k] = st.plan
+		}
+	}
+	if kHi > st.maxOpened {
+		st.maxOpened = kHi
+	}
+}
+
+// flush runs the batched folds of every shard through the compute
+// pool. The router blocks until the batch completes, so shard state is
+// never touched concurrently.
+func (st *runState) flush() {
+	var tasks []func()
+	for _, sh := range st.shards {
+		if len(sh.evs) == 0 {
+			continue
+		}
+		sh := sh
+		tasks = append(tasks, sh.foldBatch)
+	}
+	st.pool.Run(tasks)
+	st.batched = 0
+}
+
+// closeWindow gathers window k's strata from all shards, sorts them
+// into a canonical order, estimates, emits, and feeds the controller.
+func (st *runState) closeWindow(k int64, partial bool) error {
+	var strata []*stratumState
+	for _, sh := range st.shards {
+		if ws := sh.win[k]; ws != nil {
+			for _, s := range ws.strata {
+				strata = append(strata, s)
+			}
+			delete(sh.win, k)
+		}
+		delete(sh.plans, k)
+	}
+	sort.Slice(strata, func(i, j int) bool { return strata[i].name < strata[j].name })
+
+	plan := st.winPlans[k]
+	delete(st.winPlans, k)
+	if plan.Capacity == 0 {
+		plan = st.plan
+	}
+
+	res := WindowResult{
+		Index:   k,
+		Start:   float64(k) * st.q.Window.Slide,
+		End:     float64(k)*st.q.Window.Slide + st.q.Window.Size,
+		Strata:  len(strata),
+		Plan:    plan,
+		Partial: partial,
+	}
+	var parses int64
+	for _, s := range strata {
+		res.Records += s.count
+		if s.shed {
+			continue
+		}
+		res.Processed++
+		res.Folded += s.count
+		if st.q.Op == OpCount {
+			res.Sampled += s.count
+		} else {
+			// Sampled is the held sample size (what the variance sees);
+			// admissions — which also count evicted values — are what
+			// parsing work scales with.
+			res.Sampled += int64(len(s.res.vals))
+			parses += s.admitted
+		}
+	}
+	res.Degraded = plan.KeepFrac < 1
+	res.Latency = st.cost.Window(res.Records, res.Folded, parses, res.Processed)
+	res.Est, res.Exact = estimateWindow(st.q.Op, strata, st.q.SLO.Confidence)
+
+	if err := st.emit(res); err != nil {
+		return err
+	}
+	st.closed++
+	if st.ctrl != nil && !partial {
+		st.plan = st.ctrl.Observe(res)
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"approxhadoop/internal/dfs"
+)
+
+// readAll concatenates a generated file's blocks through Open.
+func readAllBlocks(t *testing.T, blocks []io.ReadCloser) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, rc := range blocks {
+		if _, err := buf.ReadFrom(rc); err != nil {
+			t.Fatalf("read block: %v", err)
+		}
+		if err := rc.Close(); err != nil {
+			t.Fatalf("close block: %v", err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestStreamMatchesBatchBytes: the streamed records of both live
+// generators must be byte-identical to the batch file contents — the
+// stream is the same data, just paced.
+func TestStreamMatchesBatchBytes(t *testing.T) {
+	edits := EditLog{Blocks: 4, LinesPerBlock: 500, Projects: 20, Editors: 500, Pages: 2000, Seed: 9}
+	web := WebLog{Blocks: 3, LinesPerBlock: 700, Clients: 300, Attackers: 10, AttackRate: 0.02, Seed: 5}
+
+	check := func(name string, mk func(n string) *dfs.File) {
+		t.Run(name, func(t *testing.T) {
+			f := mk("batch")
+			var rcs []io.ReadCloser
+			for _, b := range f.Blocks {
+				rcs = append(rcs, b.Open())
+			}
+			want := readAllBlocks(t, rcs)
+
+			var got bytes.Buffer
+			var lastT float64
+			s := StreamFrom(mk("live"), StreamOptions{Rate: DiurnalRate(200, 0.5, 30), Seed: 17})
+			err := s.Run(func(tm float64, line []byte) error {
+				if tm <= lastT {
+					t.Fatalf("arrival times not strictly increasing: %g after %g", tm, lastT)
+				}
+				lastT = tm
+				got.Write(line)
+				got.WriteByte('\n')
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("stream: %v", err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Fatalf("streamed bytes differ from batch contents (%d vs %d bytes)", got.Len(), len(want))
+			}
+		})
+	}
+	check("editlog", func(n string) *dfs.File { return edits.File(n) })
+	check("weblog", func(n string) *dfs.File { return web.File(n) })
+}
+
+// TestStreamTimestampsDeterministic: the same (file, rate, seed)
+// reproduces the identical arrival-time sequence; a different seed
+// does not.
+func TestStreamTimestampsDeterministic(t *testing.T) {
+	e := EditLog{Blocks: 2, LinesPerBlock: 300, Projects: 10, Editors: 100, Pages: 500, Seed: 3}
+	times := func(seed int64) []float64 {
+		var ts []float64
+		s := StreamFrom(e.File("x"), StreamOptions{Rate: ConstantRate(100), Seed: seed})
+		if err := s.Run(func(tm float64, _ []byte) error {
+			ts = append(ts, tm)
+			return nil
+		}); err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		return ts
+	}
+	a, b, c := times(4), times(4), times(5)
+	if len(a) != 600 {
+		t.Fatalf("streamed %d records; want 600", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] { //lint:ignore nofloateq determinism check wants bit equality
+			t.Fatalf("run 1 and 2 diverge at record %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] { //lint:ignore nofloateq deliberate bit comparison
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("different jitter seeds produced identical arrival times")
+	}
+}
+
+// TestStreamStop: ErrStop ends the stream cleanly mid-file.
+func TestStreamStop(t *testing.T) {
+	e := EditLog{Blocks: 2, LinesPerBlock: 300, Seed: 3}
+	n := 0
+	s := StreamFrom(e.File("x"), StreamOptions{Rate: ConstantRate(50), Seed: 2})
+	err := s.Run(func(float64, []byte) error {
+		n++
+		if n == 100 {
+			return ErrStop
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ErrStop should end the stream cleanly, got %v", err)
+	}
+	if n != 100 {
+		t.Fatalf("stream yielded %d records after stop at 100", n)
+	}
+}
+
+// TestStreamRateTracksCurve: over a long constant-rate stream the
+// empirical rate must converge to the curve.
+func TestStreamRateTracksCurve(t *testing.T) {
+	e := EditLog{Blocks: 5, LinesPerBlock: 2000, Seed: 7}
+	var last float64
+	n := 0
+	s := StreamFrom(e.File("x"), StreamOptions{Rate: ConstantRate(250), Seed: 11})
+	if err := s.Run(func(tm float64, _ []byte) error {
+		last, n = tm, n+1
+		return nil
+	}); err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	rate := float64(n) / last
+	if rate < 235 || rate > 265 {
+		t.Fatalf("empirical rate %.1f rec/s; want ~250", rate)
+	}
+}

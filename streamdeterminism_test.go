@@ -1,0 +1,68 @@
+package approxhadoop_test
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+	"testing"
+
+	approxhadoop "approxhadoop"
+)
+
+// streamSeries runs the canonical streaming determinism query — an
+// adaptive windowed sum over a diurnally paced replay of the text
+// corpus — and renders the window series in its canonical byte form.
+func streamSeries(t *testing.T, workers int) []byte {
+	t.Helper()
+	file := approxhadoop.SplitText("stream.txt", corpus(), 1024)
+	q := approxhadoop.StreamQuery{
+		Name: "line-bytes",
+		Op:   approxhadoop.StreamSum,
+		Stratify: func(line []byte) []byte {
+			if i := bytes.IndexByte(line, ' '); i > 0 {
+				return line[:i]
+			}
+			return line
+		},
+		Value: func(line []byte) (float64, bool) {
+			return float64(len(line)), true
+		},
+		Window:   approxhadoop.StreamWindow{Size: 2},
+		SLO:      approxhadoop.StreamSLO{TargetRelErr: 0.1, MaxLatency: 0.05},
+		Capacity: 16,
+		Seed:     21,
+	}
+	p := &approxhadoop.StreamPipeline{
+		Query:      q,
+		Source:     approxhadoop.StreamFromFile(file, approxhadoop.StreamOptions{Rate: approxhadoop.DiurnalRate(300, 0.5, 6), Seed: 21}),
+		Controller: approxhadoop.NewStreamController(q.SLO, approxhadoop.DefaultStreamCost()),
+		Workers:    workers,
+		MaxWindows: 8,
+	}
+	series, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) == 0 {
+		t.Fatal("stream emitted no windows")
+	}
+	return approxhadoop.StreamSeriesBytes(series)
+}
+
+// TestStreamSeriesDeterministic is the streaming plane's acceptance
+// check, the sibling of TestSameSeedRunsIdentical: the same (query,
+// seed, rate trace) must emit a byte-identical window series across
+// repeat runs and for any fold-pool size. Shards — not Workers — own
+// strata, so the pool size must be invisible to every reservoir draw,
+// shedding coin, and modeled latency in the series.
+func TestStreamSeriesDeterministic(t *testing.T) {
+	base := streamSeries(t, 1)
+	if again := streamSeries(t, 1); !bytes.Equal(base, again) {
+		t.Errorf("series differs between two identical runs:\n%s\nvs\n%s", base, again)
+	}
+	for _, w := range []int{2, 4, runtime.GOMAXPROCS(0) + 1} {
+		if got := streamSeries(t, w); !bytes.Equal(base, got) {
+			t.Errorf("series differs between Workers=1 and Workers="+strconv.Itoa(w)+":\n%s\nvs\n%s", base, got)
+		}
+	}
+}

@@ -54,6 +54,7 @@ import (
 	"approxhadoop/internal/jobserver"
 	"approxhadoop/internal/mapreduce"
 	"approxhadoop/internal/stats"
+	"approxhadoop/internal/wire"
 )
 
 func usage() {
@@ -269,6 +270,7 @@ func specFlags(fs *flag.FlagSet) func() jobserver.JobSpec {
 	fs.Float64Var(&s.Deadline, "deadline", 0, "deadline: SLO in virtual seconds")
 	fs.BoolVar(&s.BestEffort, "best-effort", false, "deadline: degrade instead of failing on overrun")
 	fs.StringVar(&s.IdempotencyKey, "key", "", "idempotency key: duplicate submissions (and blind retries) return the original job")
+	fs.StringVar(&s.Tenant, "tenant", "", "tenant identity: placement key on a sharded daemon, quota subject")
 	return func() jobserver.JobSpec { return s }
 }
 
@@ -444,10 +446,21 @@ func (e callerErr) Error() string { return e.err.Error() }
 // reconnects with ?from=<lastSeq+1> and resumes without duplicating
 // frames. Any frame of progress refills the retry budget.
 func (c *client) streamFrames(id string, fn func(jobserver.WireFrame) error) error {
+	return c.streamLoop(id, false, fn)
+}
+
+// streamFramesBinary is streamFrames over the negotiated binary frame
+// format — same resume contract, length-prefixed frames instead of
+// JSON lines.
+func (c *client) streamFramesBinary(id string, fn func(jobserver.WireFrame) error) error {
+	return c.streamLoop(id, true, fn)
+}
+
+func (c *client) streamLoop(id string, binary bool, fn func(jobserver.WireFrame) error) error {
 	last := -1 // highest Seq seen
 	sawTerminal := false
 	for attempt := 0; ; attempt++ {
-		err := c.streamOnce(id, last+1, func(f jobserver.WireFrame) error {
+		err := c.streamOnce(id, last+1, binary, func(f jobserver.WireFrame) error {
 			if f.Seq > last {
 				last = f.Seq
 			}
@@ -480,14 +493,40 @@ func (c *client) streamFrames(id string, fn func(jobserver.WireFrame) error) err
 }
 
 // streamOnce runs one connection's worth of frames through fn.
-func (c *client) streamOnce(id string, from int, fn func(jobserver.WireFrame) error) error {
-	resp, err := http.Get(c.base + "/v1/jobs/" + id + "/stream?from=" + strconv.Itoa(from))
+func (c *client) streamOnce(id string, from int, binary bool, fn func(jobserver.WireFrame) error) error {
+	req, err := http.NewRequest(http.MethodGet, c.base+"/v1/jobs/"+id+"/stream?from="+strconv.Itoa(from), nil)
+	if err != nil {
+		return err
+	}
+	if binary {
+		req.Header.Set("Accept", wire.ContentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return err
 	}
 	defer drainClose(resp)
 	if resp.StatusCode != http.StatusOK {
 		return apiErrorFrom(resp)
+	}
+	if binary {
+		br := bufio.NewReader(resp.Body)
+		for {
+			payload, err := wire.ReadFrame(br)
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			wf, err := wire.DecodeJobFrame(payload)
+			if err != nil {
+				return err
+			}
+			if err := fn(jobserver.FrameFromWire(wf)); err != nil {
+				return err
+			}
+		}
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
@@ -504,10 +543,18 @@ func (c *client) streamOnce(id string, from int, fn func(jobserver.WireFrame) er
 }
 
 func cmdWatch(c *client, args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: approxctl watch <id>")
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	wireFmt := fs.Bool("wire", false, "negotiate the binary frame format instead of JSONL")
+	//lint:ignore errcheck ExitOnError flag sets never return an error
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: approxctl watch [-wire] <id>")
 	}
-	return c.streamFrames(args[0], func(f jobserver.WireFrame) error {
+	follow := c.streamFrames
+	if *wireFmt {
+		follow = c.streamFramesBinary
+	}
+	return follow(fs.Arg(0), func(f jobserver.WireFrame) error {
 		// One line per snapshot: worst relative CI across keys, so the
 		// narrowing is visible at a glance.
 		worst := 0.0
@@ -585,64 +632,55 @@ func cmdReplay(c *client, args []string) error {
 	return nil
 }
 
-// cmdLoadgen hammers a live daemon: every trace job is submitted from
-// its own goroutine, then polled to completion. Wall-clock arrival
-// order is whatever the scheduler produces — the point is to exercise
-// the daemon under concurrent clients.
+// cmdLoadgen drives the daemon with a closed-loop benchmark: -clients
+// concurrent loops each run submit -> observe-terminal -> next until
+// -n ops complete, and the report carries sustained QPS plus submit
+// and completion latency percentiles. -watch follows each job's
+// snapshot stream instead of polling (-wire negotiates the binary
+// frame format); -max-p99 turns the run into a pass/fail gate for CI.
 func cmdLoadgen(c *client, args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
-	n := fs.Int("n", 20, "jobs to submit concurrently")
-	seed := fs.Int64("seed", 42, "trace seed")
-	timeout := fs.Duration("timeout", 2*time.Minute, "wall-clock budget for the whole batch")
+	n := fs.Int("n", 20, "total jobs to pull through the closed loop")
+	clients := fs.Int("clients", 4, "concurrent closed-loop clients")
+	seed := fs.Int64("seed", 42, "spec sequence seed")
+	tenants := fs.Int("tenants", 8, "distinct tenant identities (placement keys)")
+	watch := fs.Bool("watch", false, "follow each job's snapshot stream to its terminal frame")
+	wireFmt := fs.Bool("wire", false, "with -watch: negotiate the binary frame format")
+	maxP99 := fs.Float64("max-p99", 0, "fail if completion p99 exceeds this many ms (0 = report only)")
+	timeout := fs.Duration("timeout", time.Minute, "wall-clock budget per op")
 	//lint:ignore errcheck ExitOnError flag sets never return an error
 	_ = fs.Parse(args)
 
-	trace := jobserver.GenerateTrace(*n, *seed)
-	ids := make([]string, len(trace))
-	errs := make([]error, len(trace))
-	var wg sync.WaitGroup
-	for i, spec := range trace {
-		i, spec := i, spec
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			id, _, err := c.submit(spec)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			ids[i] = id
-		}()
+	rep := jobserver.RunClosedLoop(jobserver.LoadConfig{
+		Base:    c.base,
+		Clients: *clients,
+		Ops:     *n,
+		Seed:    *seed,
+		Tenants: *tenants,
+		Watch:   *watch,
+		Binary:  *wireFmt,
+		Timeout: *timeout,
+	})
+	fmt.Printf("loadgen: %d ops, %d clients, %.2f s wall, %.1f ops/s\n",
+		rep.Ops, rep.Clients, rep.WallSecs, rep.QPS)
+	fmt.Printf("  submit   p50 %.1f ms  p95 %.1f ms  p99 %.1f ms  max %.1f ms\n",
+		rep.SubmitP50, rep.SubmitP95, rep.SubmitP99, rep.SubmitMax)
+	fmt.Printf("  complete p50 %.1f ms  p95 %.1f ms  p99 %.1f ms  max %.1f ms\n",
+		rep.CompleteP50, rep.CompleteP95, rep.CompleteP99, rep.CompleteMax)
+	if rep.Frames > 0 {
+		fmt.Printf("  streamed %d frames, %d bytes\n", rep.Frames, rep.StreamBytes)
 	}
-	wg.Wait()
-
-	rejected := 0
-	for i, err := range errs {
-		var ae *apiError
-		if errors.As(err, &ae) && ae.Code == http.StatusTooManyRequests {
-			rejected++
-			continue
-		}
-		if err != nil {
-			return fmt.Errorf("submit %s: %w", trace[i].Name, err)
-		}
+	if rep.Rejected > 0 {
+		fmt.Printf("  %d submissions bounced (429/503) and were retried\n", rep.Rejected)
 	}
-
-	deadline := time.Now().Add(*timeout)
-	var states []jobserver.WireState
-	for _, id := range ids {
-		if id == "" {
-			continue
-		}
-		st, err := c.waitTerminal(id, deadline)
-		if err != nil {
-			return err
-		}
-		states = append(states, st)
+	if rep.Errors > 0 {
+		return fmt.Errorf("loadgen: %d of %d ops failed", rep.Errors, rep.Errors+rep.Ops)
 	}
-	summarize(states)
-	if rejected > 0 {
-		fmt.Printf("%d submissions bounced with 429 (queue full)\n", rejected)
+	if rep.Ops == 0 {
+		return errors.New("loadgen: no ops completed")
+	}
+	if *maxP99 > 0 && rep.CompleteP99 > *maxP99 {
+		return fmt.Errorf("loadgen: completion p99 %.1f ms exceeds bound %.1f ms", rep.CompleteP99, *maxP99)
 	}
 	return nil
 }

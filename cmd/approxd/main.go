@@ -13,11 +13,22 @@
 // 503 + Retry-After, running jobs finish, queued jobs stay journaled
 // for the next boot.
 //
+// With -shards N the daemon hosts a fleet of N independent engine
+// shards, each with its own virtual clock and journal segment; jobs
+// are placed by consistent hashing on the spec's placement key
+// (tenant, then idempotency key, then name), so a tenant's jobs land
+// on one shard and the fleet scales submission throughput without
+// perturbing any job's deterministic result. Restart a sharded
+// daemon with the same -shards count — recovery refuses journal
+// segments that would re-place recovered jobs.
+//
 // Usage:
 //
 //	approxd                                  # FIFO on 127.0.0.1:7070
 //	approxd -policy fair -max-active 16
 //	approxd -journal /var/lib/approxd/wal.jsonl
+//	approxd -shards 4 -tenant-quota 4        # 4-engine fleet, <=4 in-flight
+//	                                         # jobs per tenant
 //	approxd -hold                            # park submissions; POST /v1/release replays
 //	                                         # the batch deterministically
 //
@@ -28,7 +39,9 @@
 //	GET    /v1/jobs/{id}          one job's state
 //	DELETE /v1/jobs/{id}          cancel
 //	GET    /v1/jobs/{id}/result   final result
-//	GET    /v1/jobs/{id}/stream   JSONL early-result stream (?from=N resumes)
+//	GET    /v1/jobs/{id}/stream   early-result stream (?from=N resumes; JSONL,
+//	                              or binary frames with
+//	                              Accept: application/x-approx-frame)
 //	POST   /v1/replay             run a whole []JobSpec trace
 //	POST   /v1/release            release held submissions
 //	GET    /v1/stats              service counters
@@ -53,8 +66,11 @@ func main() {
 		maxQueue   = flag.Int("max-queue", 64, "admission queue depth before 429s")
 		snapshot   = flag.Float64("snapshot-every", 40, "virtual seconds between streamed snapshots (<0 disables)")
 		workers    = flag.Int("workers", 0, "per-job map-compute pool size (0 = GOMAXPROCS); results are identical for any value")
+		shards     = flag.Int("shards", 1, "engine-fleet size; jobs are placed by consistent hashing on tenant/key/name")
+		quota      = flag.Int("tenant-quota", 0, "max in-flight jobs per tenant across the fleet (0 = unlimited)")
+		maxLag     = flag.Int("max-lag", 0, "slow-subscriber drop threshold in frames (0 = default 256; negative disables dropping)")
 		hold       = flag.Bool("hold", false, "park submissions until POST /v1/release, then replay the sorted batch deterministically")
-		journal    = flag.String("journal", "", "write-ahead journal path; enables crash-safe recovery (empty = off)")
+		journal    = flag.String("journal", "", "write-ahead journal path; enables crash-safe recovery (empty = off; sharded daemons keep one segment per shard)")
 		grace      = flag.Duration("grace", 10*time.Second, "SIGTERM drain grace for running jobs")
 		reqTimeout = flag.Duration("request-timeout", 10*time.Second, "per-request timeout for quick endpoints (negative disables)")
 		maxBody    = flag.Int64("max-body", 0, "max POST body bytes (0 = 4 MiB default)")
@@ -78,15 +94,18 @@ func main() {
 			MaxQueue:      *maxQueue,
 			Workers:       *workers,
 			SnapshotEvery: *snapshot,
+			TenantQuota:   *quota,
 		},
+		Shards:         *shards,
+		MaxLag:         *maxLag,
 		Hold:           *hold,
 		JournalPath:    *journal,
 		Grace:          *grace,
 		RequestTimeout: *reqTimeout,
 		MaxBody:        *maxBody,
 		OnReady: func(addr string, _ *jobserver.Daemon) {
-			fmt.Fprintf(os.Stderr, "approxd: serving on %s (policy %s, %s mode, %d active / %d queued max)\n",
-				addr, pol, mode, *maxActive, *maxQueue)
+			fmt.Fprintf(os.Stderr, "approxd: serving on %s (policy %s, %s mode, %d shard(s), %d active / %d queued max per shard)\n",
+				addr, pol, mode, max(*shards, 1), *maxActive, *maxQueue)
 		},
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "approxd: "+format+"\n", args...)

@@ -43,6 +43,12 @@ func chaosChild() {
 			maxActive = n
 		}
 	}
+	shards := 1
+	if s := os.Getenv("APPROXD_CHAOS_SHARDS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			shards = n
+		}
+	}
 	err := Serve(ServeConfig{
 		Addr: "127.0.0.1:0",
 		Service: Config{
@@ -50,6 +56,7 @@ func chaosChild() {
 			MaxQueue:      32,
 			SnapshotEvery: 5,
 		},
+		Shards:      shards,
 		JournalPath: os.Getenv("APPROXD_CHAOS_JOURNAL"),
 		Grace:       5 * time.Second,
 		OnReady: func(addr string, _ *Daemon) {
@@ -101,11 +108,17 @@ type chaosDaemon struct {
 
 func startChaosDaemon(t *testing.T, journal string, maxActive int) *chaosDaemon {
 	t.Helper()
+	return startShardedChaosDaemon(t, journal, maxActive, 1)
+}
+
+func startShardedChaosDaemon(t *testing.T, journal string, maxActive, shards int) *chaosDaemon {
+	t.Helper()
 	cmd := exec.Command(os.Args[0])
 	cmd.Env = append(os.Environ(),
 		"APPROXD_CHAOS_CHILD=1",
 		"APPROXD_CHAOS_JOURNAL="+journal,
 		fmt.Sprintf("APPROXD_CHAOS_MAXACTIVE=%d", maxActive),
+		fmt.Sprintf("APPROXD_CHAOS_SHARDS=%d", shards),
 	)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -345,6 +358,67 @@ func TestChaosKillMidStreamRecovery(t *testing.T) {
 	}
 	if !strings.Contains(last, `"status":"done"`) {
 		t.Errorf("recovered stream's last frame is not terminal: %s", last)
+	}
+}
+
+// TestChaosShardedKillRecovery: the fleet version of the mid-execution
+// kill. A 2-shard daemon journals one segment per shard with each
+// job's shard assignment; the restarted 2-shard daemon must replay
+// every job onto its original shard (the ids, which carry the shard,
+// still resolve) and match the uninterrupted control byte for byte.
+// A restart with fewer shards must refuse to boot rather than
+// silently re-place the recovered jobs.
+func TestChaosShardedKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness re-execs the test binary; skipped in -short")
+	}
+	journal := filepath.Join(t.TempDir(), "wal.jsonl")
+	specs := chaosSpecs()
+	// Tenants chosen so the workload provably lands on both shards
+	// (tenant-0 and tenant-1 place on shard 0, tenant-4 on shard 1 of
+	// a 2-shard ring; TestFleetPlacementDeterministicAndBounded pins
+	// the mapping's stability).
+	tenants := []string{"tenant-0", "tenant-4", "tenant-1"}
+	for i := range specs {
+		specs[i].Tenant = tenants[i%len(tenants)]
+	}
+
+	cd := startShardedChaosDaemon(t, journal, 1, 2)
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		ids[i] = cd.submit(spec)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := cd.stats()
+		if st.Active >= 1 || st.Done >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never started executing")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cd.kill()
+
+	// Booting with half the shards would orphan a journal segment; the
+	// child must exit with an error before serving.
+	shrunk := exec.Command(os.Args[0])
+	shrunk.Env = append(os.Environ(),
+		"APPROXD_CHAOS_CHILD=1",
+		"APPROXD_CHAOS_JOURNAL="+journal,
+		"APPROXD_CHAOS_MAXACTIVE=1",
+		"APPROXD_CHAOS_SHARDS=1",
+	)
+	if out, err := shrunk.CombinedOutput(); err == nil {
+		t.Fatalf("1-shard restart over a 2-shard journal succeeded; want a refused boot\n%s", out)
+	}
+
+	cd2 := startShardedChaosDaemon(t, journal, 2, 2)
+	assertRecovered(t, cd2, ids, specs)
+	st := cd2.stats()
+	if st.Shards != 2 {
+		t.Errorf("restarted fleet reports %d shards, want 2", st.Shards)
 	}
 }
 

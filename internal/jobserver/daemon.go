@@ -2,6 +2,7 @@ package jobserver
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 )
@@ -9,120 +10,131 @@ import (
 // ErrClosed is returned for operations on a stopped daemon.
 var ErrClosed = errors.New("jobserver: daemon stopped")
 
-// Daemon runs a Service behind a single driver goroutine that owns
-// the engine: HTTP handlers never touch the virtual timeline directly,
-// they post closures to a mailbox the driver executes between engine
-// events. The virtual-time plane therefore stays single-threaded even
-// though submissions arrive concurrently over the network.
+// Daemon runs a fleet of engine shards behind driver goroutines: HTTP
+// handlers never touch a virtual timeline directly, they post closures
+// to the owning shard's mailbox. Each shard's virtual-time plane stays
+// single-threaded even though submissions arrive concurrently over the
+// network, and the shards run genuinely in parallel — a single daemon
+// process scales across cores by adding shards, not threads per engine.
 //
 // Two submission modes exist. Live mode admits each job at whatever
-// virtual instant its request reaches the driver — the natural
+// virtual instant its request reaches its shard's driver — the natural
 // behavior for an interactive service, but wall-clock arrival order
 // leaks into the timeline. Hold mode instead parks submissions in a
 // buffer; Release sorts them by (SubmitAt, Name) and replays the
-// batch on the virtual clock, so N clients hammering the daemon
+// batch on the virtual clocks, so N clients hammering the daemon
 // concurrently still produce byte-identical per-job results. The
 // /v1/replay endpoint is the one-request equivalent for callers that
 // already hold the whole trace.
 type Daemon struct {
-	svc *Service
+	fleet *Fleet
 	// streams is the continuous-query registry. Streams live outside
-	// the driver goroutine: their pipelines never touch the shared
+	// the driver goroutines: their pipelines never touch a shared
 	// engine's virtual timeline (see streams.go), so they need none of
 	// the mailbox discipline batch jobs do.
 	streams *StreamSet
-	cmds    chan func()
-	stop    chan struct{}
-	done    chan struct{}
 	once    sync.Once
 
 	// RequestTimeout bounds quick HTTP endpoints via
 	// http.TimeoutHandler (0 = unlimited); MaxBody bounds POST request
-	// bodies via http.MaxBytesReader (0 = the 4 MiB default). Set both
-	// before Handler is called; see Handler for the exempt endpoints.
+	// bodies via http.MaxBytesReader (0 = the 4 MiB default). MaxLag is
+	// the slow-subscriber drop threshold for frame streaming (0 =
+	// DefaultMaxLag; <0 disables dropping). Set all before Handler is
+	// called; see Handler for the exempt endpoints.
 	RequestTimeout time.Duration
 	MaxBody        int64
+	MaxLag         int
 
-	// Driver-goroutine state for hold mode.
+	// Hold-mode buffer, fleet-level: held specs are not yet placed on
+	// any shard — Release routes the whole sorted batch at once.
+	hmu     sync.Mutex
 	holding bool
 	held    []JobSpec
 }
 
-// NewDaemon starts the driver goroutine for svc. hold enables hold
-// mode (see type comment).
+// NewDaemon starts a single-shard daemon for svc — the standalone
+// configuration every prior version of approxd ran, and still the
+// default. hold enables hold mode (see type comment).
 func NewDaemon(svc *Service, hold bool) *Daemon {
-	d := &Daemon{
-		svc:     svc,
-		streams: NewStreamSet(svc.cfg.MaxActive, svc.cfg.Workers),
-		cmds:    make(chan func(), 64),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+	return NewFleetDaemon([]*Service{svc}, hold)
+}
+
+// NewFleetDaemon starts one driver goroutine per service. Services
+// must be freshly built or recovered (Recover run, no driver yet);
+// svcs[0]'s config supplies the fleet-wide knobs (stream registry
+// sizing, tenant quota).
+func NewFleetDaemon(svcs []*Service, hold bool) *Daemon {
+	cfg := svcs[0].cfg
+	return &Daemon{
+		fleet:   NewFleet(svcs, cfg.TenantQuota),
+		streams: NewStreamSet(cfg.MaxActive, cfg.Workers),
 		holding: hold,
 	}
-	go d.loop()
-	return d
+}
+
+// ShardConfigs expands cfg into per-shard configs: each shard gets a
+// distinct id prefix ("job-s2-") and its shard index; a count of one
+// keeps cfg untouched, so a 1-shard fleet is bit-compatible with the
+// pre-fleet daemon (ids, journals, everything).
+func ShardConfigs(cfg Config, shards int) []Config {
+	if shards <= 1 {
+		return []Config{cfg}
+	}
+	out := make([]Config, shards)
+	for i := range out {
+		out[i] = cfg
+		out[i].IDPrefix = fmt.Sprintf("job-s%d-", i)
+		out[i].ShardIndex = i
+	}
+	return out
+}
+
+// NewShardedDaemon builds shards fresh services from cfg (via
+// ShardConfigs) and starts a fleet daemon over them — the in-process
+// path for benchmarks and tests; cmd/approxd goes through Serve, which
+// also wires per-shard journal segments.
+func NewShardedDaemon(cfg Config, shards int, hold bool) *Daemon {
+	cfgs := ShardConfigs(cfg, shards)
+	svcs := make([]*Service, len(cfgs))
+	for i, c := range cfgs {
+		svcs[i] = New(c)
+	}
+	return NewFleetDaemon(svcs, hold)
 }
 
 // Streams returns the continuous-query registry.
 func (d *Daemon) Streams() *StreamSet { return d.streams }
 
-// Service returns the underlying service (read-only methods are safe
-// from any goroutine).
-func (d *Daemon) Service() *Service { return d.svc }
+// Service returns shard 0's service — the only shard of a standalone
+// daemon (read-only methods are safe from any goroutine).
+func (d *Daemon) Service() *Service { return d.fleet.Shard(0) }
 
-// loop is the driver: commands take priority (they schedule engine
-// events at the current virtual time), then the engine is pumped one
-// event at a time; an idle engine blocks on the mailbox.
-func (d *Daemon) loop() {
-	defer close(d.done)
-	for {
-		select {
-		case fn := <-d.cmds:
-			fn()
-		case <-d.stop:
-			return
-		default:
-			if d.svc.eng.Step() {
-				continue
-			}
-			// Idle engine: a quiescent point — every buffered journal
-			// record (admissions, completions) describes settled state,
-			// so group-commit them before blocking for new work.
-			d.svc.journalQuiesce()
-			select {
-			case fn := <-d.cmds:
-				fn()
-			case <-d.stop:
-				return
-			}
-		}
-	}
-}
+// Fleet returns the shard router.
+func (d *Daemon) Fleet() *Fleet { return d.fleet }
 
-// do runs fn on the driver goroutine and waits for it.
+// do runs fn on shard 0's driver goroutine and waits for it (test
+// hook; fleet-aware callers route through Fleet methods).
 func (d *Daemon) do(fn func()) error {
-	ran := make(chan struct{})
-	select {
-	case d.cmds <- func() { fn(); close(ran) }:
-	case <-d.stop:
-		return ErrClosed
-	}
-	select {
-	case <-ran:
-		return nil
-	case <-d.done:
-		return ErrClosed
-	}
+	return d.fleet.shards[0].do(fn)
 }
 
-// Stop shuts the driver down and wakes every stream waiter. Running
-// continuous queries are stopped at their next window.
+// maxLag resolves the configured slow-subscriber drop threshold.
+func (d *Daemon) maxLag() int {
+	if d.MaxLag == 0 {
+		return DefaultMaxLag
+	}
+	if d.MaxLag < 0 {
+		return 0
+	}
+	return d.MaxLag
+}
+
+// Stop shuts every shard driver down and wakes every stream waiter.
+// Running continuous queries are stopped at their next window.
 func (d *Daemon) Stop() {
 	d.once.Do(func() {
 		d.streams.Close()
-		close(d.stop)
-		<-d.done
-		d.svc.Close()
+		d.fleet.Close()
 	})
 }
 
@@ -130,18 +142,18 @@ func (d *Daemon) Stop() {
 // ErrDraining (HTTP 503 + Retry-After), queued jobs stop being
 // admitted — their journaled submit records carry them to the next
 // boot — and running jobs get up to grace wall-clock time to finish
-// (virtual time runs as fast as the driver can pump it, so this is
-// normally milliseconds). It returns true when the cluster went quiet,
+// (virtual time runs as fast as the drivers can pump it, so this is
+// normally milliseconds). It returns true when every shard went quiet,
 // false on grace expiry; either way buffered journal records have been
 // committed. Call Stop afterwards.
 func (d *Daemon) Drain(grace time.Duration) bool {
-	d.svc.StartDrain()
+	d.fleet.StartDrain()
 	deadline := time.Now().Add(grace)
 	finished := false
 	for {
-		var active int
-		if err := d.do(func() { active = d.svc.ActiveCount() }); err != nil {
-			return true // driver already stopped, nothing is running
+		active, err := d.fleet.ActiveTotal()
+		if err != nil {
+			return true // drivers already stopped, nothing is running
 		}
 		if active == 0 {
 			finished = true
@@ -153,73 +165,56 @@ func (d *Daemon) Drain(grace time.Duration) bool {
 		time.Sleep(5 * time.Millisecond)
 	}
 	// Group-commit whatever the drain produced (terminal records for
-	// jobs that finished, nothing for the still-queued) so the journal
-	// is durable even if the process is killed before Stop.
-	if err := d.do(func() { d.svc.journalQuiesce() }); err != nil {
-		// Driver already stopped — svc.Close committed and closed the
-		// journal on that path.
-		return finished
-	}
+	// jobs that finished, nothing for the still-queued) so the journals
+	// are durable even if the process is killed before Stop.
+	d.fleet.Quiesce()
 	return finished
 }
 
-// Submit admits one job (live mode) or parks it (hold mode, in which
-// case the returned id is empty and held is the buffer depth).
+// Submit admits one job (live mode — placed on its shard and run
+// there) or parks it (hold mode, in which case the returned id is
+// empty and held is the buffer depth).
 func (d *Daemon) Submit(spec JobSpec) (id string, held int, err error) {
-	doErr := d.do(func() {
-		if d.holding {
-			d.held = append(d.held, spec)
-			held = len(d.held)
-			return
-		}
-		id, err = d.svc.Submit(spec)
-	})
-	if doErr != nil {
-		return "", 0, doErr
+	d.hmu.Lock()
+	if d.holding {
+		d.held = append(d.held, spec)
+		held = len(d.held)
+		d.hmu.Unlock()
+		return "", held, nil
 	}
-	return id, held, err
+	d.hmu.Unlock()
+	id, err = d.fleet.Submit(spec)
+	if err != nil {
+		return "", 0, err
+	}
+	return id, 0, nil
 }
 
 // Release replays the held submissions as one sorted batch and
 // returns their final states. Outside hold mode it is a no-op.
 func (d *Daemon) Release() (states []JobState, err error) {
-	doErr := d.do(func() {
-		specs := d.held
-		d.held = nil
-		states = d.svc.Replay(specs)
-	})
-	if doErr != nil {
-		return nil, doErr
-	}
-	return states, nil
+	d.hmu.Lock()
+	specs := d.held
+	d.held = nil
+	d.hmu.Unlock()
+	return d.fleet.Replay(specs)
 }
 
-// Replay runs a whole trace on the driver goroutine and returns the
-// final states. Concurrent live submissions queue behind it.
+// Replay runs a whole trace across the fleet and returns the final
+// states in sorted-trace order. Concurrent live submissions queue
+// behind each shard's share.
 func (d *Daemon) Replay(specs []JobSpec) (states []JobState, err error) {
-	doErr := d.do(func() { states = d.svc.Replay(specs) })
-	if doErr != nil {
-		return nil, doErr
-	}
-	return states, nil
+	return d.fleet.Replay(specs)
 }
 
-// Stats samples service counters on the driver goroutine, so the
-// engine fields (virtual time, energy) are read between engine events
-// rather than racing the simulation.
+// Stats samples fleet-aggregate counters, each shard on its own driver
+// goroutine, so the engine fields (virtual time, energy) are read
+// between engine events rather than racing the simulations.
 func (d *Daemon) Stats() (Stats, error) {
-	var st Stats
-	if err := d.do(func() { st = d.svc.Stats() }); err != nil {
-		return Stats{}, err
-	}
-	return st, nil
+	return d.fleet.Stats()
 }
 
-// Cancel aborts a job on the driver goroutine.
+// Cancel aborts a job on its owning shard's driver goroutine.
 func (d *Daemon) Cancel(id string) error {
-	var cErr error
-	if doErr := d.do(func() { cErr = d.svc.Cancel(id) }); doErr != nil {
-		return doErr
-	}
-	return cErr
+	return d.fleet.Cancel(id)
 }

@@ -7,8 +7,10 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"approxhadoop/internal/mapreduce"
+	"approxhadoop/internal/wire"
 )
 
 // The HTTP/JSON API of cmd/approxd. All payloads are NaN-safe: the
@@ -21,9 +23,12 @@ import (
 //	GET    /v1/jobs/{id}     one job's state
 //	DELETE /v1/jobs/{id}     cancel
 //	GET    /v1/jobs/{id}/result   final result (409 until terminal)
-//	GET    /v1/jobs/{id}/stream   JSONL WireFrame stream: snapshots with
+//	GET    /v1/jobs/{id}/stream   WireFrame stream: snapshots with
 //	                              narrowing CIs, last frame final=true;
-//	                              ?from=N resumes after sequence N-1
+//	                              ?from=N resumes after sequence N-1;
+//	                              ?lag=N|off tunes drop-to-latest; JSONL
+//	                              by default, length-prefixed binary when
+//	                              Accept names wire.ContentType
 //	POST   /v1/replay        run a whole trace ([]JobSpec), return states
 //	POST   /v1/release       release held submissions (hold mode)
 //	GET    /v1/stats         service counters
@@ -181,22 +186,22 @@ func (d *Daemon) Handler() http.Handler {
 // still promise durability. A journal I/O failure flips it to 503 so
 // an operator (or orchestrator) restarts the daemon onto a good disk.
 func (d *Daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	if err := d.svc.JournalErr(); err != nil {
+	if err := d.fleet.JournalErr(); err != nil {
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("journal failed: %w", err))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "journaled": d.svc.Journaled()})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "journaled": d.fleet.Shard(0).Journaled()})
 }
 
 // handleReadyz reports readiness to accept new submissions: false
 // while draining (load balancers stop routing here; running jobs
 // finish undisturbed) or after a journal failure.
 func (d *Daemon) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	if err := d.svc.JournalErr(); err != nil {
+	if err := d.fleet.JournalErr(); err != nil {
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("journal failed: %w", err))
 		return
 	}
-	if d.svc.Draining() {
+	if d.fleet.Draining() {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
 		return
@@ -236,7 +241,7 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// it already accepted, new work must wait for the restart.
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err)
-	case errors.Is(err, ErrBusy):
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrTenantQuota):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, err)
 	case err != nil:
@@ -249,11 +254,11 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (d *Daemon) handleList(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, wireStates(d.svc.Jobs()))
+	writeJSON(w, http.StatusOK, wireStates(d.fleet.Jobs()))
 }
 
 func (d *Daemon) handleGet(w http.ResponseWriter, r *http.Request) {
-	st, ok := d.svc.JobInfo(r.PathValue("id"))
+	st, ok := d.fleet.JobInfo(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
 		return
@@ -270,7 +275,7 @@ func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (d *Daemon) handleResult(w http.ResponseWriter, r *http.Request) {
-	st, ok := d.svc.JobInfo(r.PathValue("id"))
+	st, ok := d.fleet.JobInfo(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
 		return
@@ -286,15 +291,52 @@ func (d *Daemon) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, wireResult(st.Result))
 }
 
-// handleStream writes JSONL WireFrames as snapshots appear, ending
-// with the terminal frame (final=true for successful jobs).
+// wantBinary negotiates the stream encoding: a client whose Accept
+// header names the binary frame media type gets length-prefixed binary
+// frames; everyone else gets the legacy JSONL. Either way every
+// subscriber of a job shares the same encoded buffers (frames.go).
+func wantBinary(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), wire.ContentType)
+}
+
+// streamLag resolves the effective slow-subscriber drop threshold for
+// one request: the daemon default, overridable per connection with
+// ?lag=N (N frames behind a live job triggers drop-to-latest; lag=off
+// disables it, e.g. for an auditing client that must see every frame).
+func (d *Daemon) streamLag(r *http.Request) int {
+	q := r.URL.Query().Get("lag")
+	if q == "" {
+		return d.maxLag()
+	}
+	if q == "off" {
+		return 0
+	}
+	if n, err := strconv.Atoi(q); err == nil && n > 0 {
+		return n
+	}
+	return d.maxLag()
+}
+
+// handleStream serves a job's snapshot frames — JSONL or negotiated
+// binary — ending with the terminal frame (final=true for successful
+// jobs). Frames are pre-encoded and shared across subscribers; this
+// handler only copies buffers, so its cost does not scale with frame
+// size times subscriber count, and a stalled client blocks nothing but
+// its own connection (falling too far behind skips it to the latest
+// frame — the Seq gap tells it frames were dropped).
 func (d *Daemon) handleStream(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if _, ok := d.svc.JobInfo(id); !ok {
+	svc := d.fleet.ServiceFor(id)
+	if _, ok := svc.JobInfo(id); !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
 		return
 	}
-	w.Header().Set("Content-Type", "application/jsonl")
+	binary := wantBinary(r)
+	if binary {
+		w.Header().Set("Content-Type", wire.ContentType)
+	} else {
+		w.Header().Set("Content-Type", "application/jsonl")
+	}
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	if flusher != nil {
@@ -302,7 +344,6 @@ func (d *Daemon) handleStream(w http.ResponseWriter, r *http.Request) {
 		// clients observe a connected stream even on an idle job.
 		flusher.Flush()
 	}
-	enc := json.NewEncoder(w)
 	cursor := 0
 	if from := r.URL.Query().Get("from"); from != "" {
 		// Reconnect resume: skip frames the client already has.
@@ -310,24 +351,15 @@ func (d *Daemon) handleStream(w http.ResponseWriter, r *http.Request) {
 			cursor = n
 		}
 	}
+	lag := d.streamLag(r)
 	for {
-		fresh, status, next, err := d.svc.StreamFrom(id, cursor)
+		fresh, status, next, err := svc.FramesFrom(id, cursor, lag)
 		if err != nil {
 			return
 		}
 		terminal := status.Terminal()
-		// StreamFrom clamps an out-of-range resume cursor; renumber from
-		// the true position so Seq always matches the snapshot index.
-		cursor = next - len(fresh)
-		for i, snap := range fresh {
-			frame := WireFrame{
-				Seq:       cursor + i,
-				T:         snap.T,
-				Status:    status,
-				Final:     terminal && status == StatusDone && cursor+i == next-1,
-				Estimates: WireEstimates(snap.Estimates),
-			}
-			if encErr := enc.Encode(frame); encErr != nil {
+		for _, f := range fresh {
+			if f.WriteTo(w, binary) != nil {
 				return // client went away
 			}
 		}
@@ -341,7 +373,7 @@ func (d *Daemon) handleStream(w http.ResponseWriter, r *http.Request) {
 				// was already fully caught up): emit one terminal frame
 				// so clients always see an ending.
 				//lint:ignore errcheck the stream is ending either way
-				_ = enc.Encode(WireFrame{Seq: cursor, Status: status})
+				_ = synthJobFrame(cursor, status).WriteTo(w, binary)
 				if flusher != nil {
 					flusher.Flush()
 				}

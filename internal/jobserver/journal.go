@@ -67,6 +67,12 @@ const (
 type JournalRecord struct {
 	Op       JournalOp      `json:"op"`
 	ID       string         `json:"id,omitempty"`
+	// Shard is the engine shard the job was placed on at submit time.
+	// Recovery asserts each journal segment replays onto the shard that
+	// wrote it, so a sharded restart reproduces the original placement
+	// bit-identically. Absent (0) in pre-shard journals, which belong
+	// to shard 0 by construction.
+	Shard    int            `json:"shard,omitempty"`
 	Spec     *JobSpec       `json:"spec,omitempty"`
 	Status   JobStatus      `json:"status,omitempty"`
 	Err      string         `json:"error,omitempty"`

@@ -3,6 +3,8 @@ package jobserver
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 
 	"approxhadoop/internal/cluster"
@@ -38,6 +40,21 @@ type Config struct {
 	// SnapshotEvery is the virtual-time period of streaming
 	// early-result snapshots (default 40 s; <0 disables).
 	SnapshotEvery float64
+	// IDPrefix prefixes generated job ids (default "job-", yielding
+	// "job-0000"). A fleet daemon gives each shard a distinct prefix
+	// ("job-s2-") so ids are globally unique and name their owning
+	// shard, which is how the HTTP layer routes id-addressed requests
+	// without a directory.
+	IDPrefix string
+	// ShardIndex is this service's shard number within a fleet (0 for
+	// a standalone daemon). It is journaled with every submit record;
+	// recovery refuses a journal segment written by a different shard.
+	ShardIndex int
+	// TenantQuota caps in-flight (non-terminal) live submissions per
+	// tenant across the whole fleet (0 = unlimited). Enforced by the
+	// Fleet router, not the Service; it lives here so one Config
+	// describes a whole daemon.
+	TenantQuota int
 }
 
 // JobStatus is the lifecycle state of a service job.
@@ -86,6 +103,11 @@ type JobState struct {
 	Result   *mapreduce.Result `json:"result,omitempty"`
 	// Snapshots accumulate while the job runs; see StreamFrom.
 	Snapshots []Snapshot `json:"-"`
+	// frames is the encode-once wire form of Snapshots: one shared
+	// buffer per Seq, stamped at creation and served verbatim to every
+	// subscriber (see frames.go). Appends happen on the engine
+	// goroutine; reads anywhere under Service.mu.
+	frames []*encFrame
 }
 
 // entry is the service's per-job scheduling state. Everything here
@@ -126,6 +148,10 @@ type Service struct {
 	// claimed them; duplicate submissions are answered with the
 	// original job.
 	idemp map[string]string
+	// onTerminal, when set (SetOnTerminal), runs on the engine
+	// goroutine after a job reaches a terminal state, outside mu. The
+	// fleet uses it to release per-tenant admission-quota units.
+	onTerminal func(*JobState)
 
 	// Cross-goroutine state.
 	mu                                   sync.Mutex
@@ -168,6 +194,37 @@ func New(cfg Config) *Service {
 // submissions; pair with Recover when the journal already holds
 // records from a previous life of the daemon.
 func (s *Service) UseJournal(j *Journal) { s.journal = j }
+
+// idPrefix is the job-id prefix (Config.IDPrefix, default "job-").
+func (s *Service) idPrefix() string {
+	if s.cfg.IDPrefix != "" {
+		return s.cfg.IDPrefix
+	}
+	return "job-"
+}
+
+// SetOnTerminal installs the terminal-transition hook. Call before the
+// driver goroutine starts (and after Recover — restored states must
+// not fire it); the hook runs on the engine goroutine without mu held,
+// so it may take its own locks but must not block.
+func (s *Service) SetOnTerminal(fn func(*JobState)) { s.onTerminal = fn }
+
+// notifyTerminal invokes the terminal hook. Engine goroutine only,
+// never under mu.
+func (s *Service) notifyTerminal(st *JobState) {
+	if s.onTerminal != nil {
+		s.onTerminal(st)
+	}
+}
+
+// IdempotentID reports the job id that already claimed key, if any.
+// Engine goroutine only — the fleet router consults it (via the
+// shard's mailbox) before charging a tenant's quota, so duplicate
+// keyed submissions are answered without consuming a unit.
+func (s *Service) IdempotentID(key string) (string, bool) {
+	id, ok := s.idemp[key]
+	return id, ok
+}
 
 // Journaled reports whether a journal is attached.
 func (s *Service) Journaled() bool { return s.journal != nil }
@@ -345,9 +402,9 @@ func (s *Service) Submit(spec JobSpec) (string, error) {
 		s.mu.Unlock()
 		return "", fmt.Errorf("jobserver: spec wants %d reduces but the cluster has %d reduce slots", job.Reduces, rs)
 	}
-	id := fmt.Sprintf("job-%04d", s.seq)
+	id := fmt.Sprintf("%s%04d", s.idPrefix(), s.seq)
 	if s.journal != nil && !s.recovering {
-		s.journalAppend(JournalRecord{Op: JournalSubmit, ID: id, Spec: &spec, SubmitVT: s.eng.Now()})
+		s.journalAppend(JournalRecord{Op: JournalSubmit, ID: id, Shard: s.cfg.ShardIndex, Spec: &spec, SubmitVT: s.eng.Now()})
 		if err := s.journalCommit(); err != nil {
 			// The job was never acknowledged and never enqueued; the
 			// client must retry (ideally elsewhere — /readyz is now 503).
@@ -378,8 +435,13 @@ func (s *Service) enqueue(spec JobSpec, job *mapreduce.Job, id string) {
 	if s.cfg.SnapshotEvery > 0 {
 		job.SnapshotEvery = s.cfg.SnapshotEvery
 		job.OnSnapshot = func(t float64, ests []mapreduce.KeyEstimate) {
+			// Encode the wire frame once, outside the lock (the engine
+			// goroutine is the only frame producer, so len(st.frames) is
+			// stable here); every subscriber shares the buffer.
+			f := newJobFrame(len(st.frames), t, StatusRunning, false, ests)
 			s.mu.Lock()
 			st.Snapshots = append(st.Snapshots, Snapshot{T: t, Estimates: ests})
+			st.frames = append(st.frames, f)
 			s.mu.Unlock()
 			s.cond.Broadcast()
 		}
@@ -428,6 +490,7 @@ func (s *Service) dispatch() {
 			s.nFailed++
 			s.mu.Unlock()
 			s.cond.Broadcast()
+			s.notifyTerminal(e.state)
 			s.journalTerminal(e.state)
 			continue
 		}
@@ -456,28 +519,52 @@ func (s *Service) onJobDone(e *entry, res *mapreduce.Result, err error) {
 	}
 	s.activeReduces -= e.job.Reduces
 	delete(s.entries, e.job)
-	s.mu.Lock()
 	st := e.state
-	st.EndVT = s.eng.Now()
+	// Decide the terminal status first and pre-encode its wire frame
+	// outside the lock; watchers observe the snapshot append, the frame,
+	// and the status flip as one transition.
+	status := StatusDone
 	switch {
 	case err != nil && e.canceled:
-		st.Status = StatusCanceled
+		status = StatusCanceled
+	case err != nil:
+		status = StatusFailed
+	}
+	var doneFrame, restamped *encFrame
+	if status == StatusDone {
+		// The terminal snapshot's frame: stamped done+final at creation,
+		// so streams converge exactly to the job's final outputs.
+		doneFrame = newJobFrame(len(st.frames), res.Runtime, StatusDone, true, res.Outputs)
+	} else if n := len(st.frames); n > 0 {
+		// Failed/canceled mid-run: no new estimates to publish, but the
+		// last cached frame must carry the terminal status so resumed
+		// subscribers see an ending without a per-connection re-encode.
+		restamped = restampJobFrame(st.frames[n-1], status)
+	}
+	s.mu.Lock()
+	st.EndVT = s.eng.Now()
+	st.Status = status
+	switch status {
+	case StatusCanceled:
 		st.Err = err.Error()
 		s.nCanceled++
-	case err != nil:
-		st.Status = StatusFailed
+	case StatusFailed:
 		st.Err = err.Error()
 		s.nFailed++
 	default:
-		st.Status = StatusDone
 		st.Result = res
 		s.nDone++
 		// The terminal snapshot: streams converge exactly to the
 		// job's final outputs.
 		st.Snapshots = append(st.Snapshots, Snapshot{T: res.Runtime, Estimates: res.Outputs})
+		st.frames = append(st.frames, doneFrame)
+	}
+	if restamped != nil {
+		st.frames[len(st.frames)-1] = restamped
 	}
 	s.mu.Unlock()
 	s.cond.Broadcast()
+	s.notifyTerminal(st)
 	s.journalTerminal(st)
 	s.dispatch()
 	s.scheduleKicks()
@@ -508,6 +595,7 @@ func (s *Service) Cancel(id string) error {
 			s.nCanceled++
 			s.mu.Unlock()
 			s.cond.Broadcast()
+			s.notifyTerminal(st)
 			s.journalTerminal(st)
 			return nil
 		}
@@ -577,11 +665,19 @@ func (s *Service) Recover(recs []JournalRecord) (RecoveryStats, error) {
 			if rec.Spec == nil {
 				return rs, fmt.Errorf("jobserver: journal submit for %s carries no spec", rec.ID)
 			}
+			if rec.Shard != s.cfg.ShardIndex {
+				// Replaying another shard's segment would re-place jobs and
+				// break bit-identical recovery; refuse loudly — the operator
+				// restarted with the wrong -shards or swapped segment files.
+				return rs, fmt.Errorf("jobserver: journal submit for %s belongs to shard %d, not shard %d (restart with the original shard count)",
+					rec.ID, rec.Shard, s.cfg.ShardIndex)
+			}
 			jr.submit = rec
 			order = append(order, rec.ID)
-			var n int
-			if _, err := fmt.Sscanf(rec.ID, "job-%d", &n); err == nil && n > maxSeq {
-				maxSeq = n
+			if tail, ok := strings.CutPrefix(rec.ID, s.idPrefix()); ok {
+				if n, err := strconv.Atoi(tail); err == nil && n > maxSeq {
+					maxSeq = n
+				}
 			}
 		case JournalDone:
 			jr.done = rec
@@ -647,6 +743,7 @@ func (s *Service) restoreTerminal(id string, sub, done *JournalRecord) {
 		// The terminal snapshot, so streams opened against a restored
 		// job converge to its final outputs just like live ones.
 		st.Snapshots = []Snapshot{{T: st.Result.Runtime, Estimates: st.Result.Outputs}}
+		st.frames = []*encFrame{newJobFrame(0, st.Result.Runtime, st.Status, st.Status == StatusDone, st.Result.Outputs)}
 	}
 	s.installRestored(st)
 }
@@ -773,6 +870,9 @@ type Stats struct {
 	ReduceSlots int     `json:"reduceSlots"`
 	Draining    bool    `json:"draining,omitempty"`
 	Journaled   bool    `json:"journaled,omitempty"`
+	// Shards is the fleet size when the stats are a fleet aggregate
+	// (Fleet.Stats); a bare Service reports 0.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Stats reports current service counters. The engine fields (virtual

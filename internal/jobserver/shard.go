@@ -1,0 +1,89 @@
+package jobserver
+
+import "sync"
+
+// engineShard is one engine's driver: a goroutine that owns a Service's
+// virtual timeline plus the mailbox other goroutines reach it through.
+// This is the single-daemon driver loop factored out so a fleet can run
+// N of them side by side — each shard is a complete, independent
+// jobserver (own cluster, own clock, own journal segment), and the
+// shards share nothing but the process. That independence is what makes
+// sharding free of determinism hazards: a job's (spec, seed) run is
+// bit-identical on any shard, so placement only chooses *where*, never
+// *what*.
+type engineShard struct {
+	idx  int
+	svc  *Service
+	cmds chan func()
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// newEngineShard starts the driver goroutine for svc.
+func newEngineShard(idx int, svc *Service) *engineShard {
+	sh := &engineShard{
+		idx:  idx,
+		svc:  svc,
+		cmds: make(chan func(), 64),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go sh.loop()
+	return sh
+}
+
+// loop is the driver: commands take priority (they schedule engine
+// events at the current virtual time), then the engine is pumped one
+// event at a time; an idle engine blocks on the mailbox.
+func (sh *engineShard) loop() {
+	defer close(sh.done)
+	for {
+		select {
+		case fn := <-sh.cmds:
+			fn()
+		case <-sh.stop:
+			return
+		default:
+			if sh.svc.eng.Step() {
+				continue
+			}
+			// Idle engine: a quiescent point — every buffered journal
+			// record (admissions, completions) describes settled state,
+			// so group-commit them before blocking for new work.
+			sh.svc.journalQuiesce()
+			select {
+			case fn := <-sh.cmds:
+				fn()
+			case <-sh.stop:
+				return
+			}
+		}
+	}
+}
+
+// do runs fn on the shard's driver goroutine and waits for it.
+func (sh *engineShard) do(fn func()) error {
+	ran := make(chan struct{})
+	select {
+	case sh.cmds <- func() { fn(); close(ran) }:
+	case <-sh.stop:
+		return ErrClosed
+	}
+	select {
+	case <-ran:
+		return nil
+	case <-sh.done:
+		return ErrClosed
+	}
+}
+
+// halt stops the driver goroutine and closes the service (committing
+// and closing its journal segment). Idempotent.
+func (sh *engineShard) halt() {
+	sh.once.Do(func() {
+		close(sh.stop)
+		<-sh.done
+		sh.svc.Close()
+	})
+}

@@ -55,6 +55,11 @@ type JobSpec struct {
 	// crash-and-restart, since keys are journaled with the spec —
 	// returns the original job's id instead of running again.
 	IdempotencyKey string `json:"idempotencyKey,omitempty"`
+	// Tenant names the submitting tenant. A sharded daemon routes all
+	// of a tenant's jobs to one engine shard (consistent hashing on
+	// this field) and enforces the per-tenant admission quota against
+	// it; empty means the anonymous tenant.
+	Tenant string `json:"tenant,omitempty"`
 
 	// Controller selects the approximation mode: "" or "precise",
 	// "static" (SampleRatio/DropRatio), "target" (Target relative
@@ -182,6 +187,26 @@ func (s JobSpec) Build(defaultWorkers int) (*mapreduce.Job, error) {
 		job.DegradeToDrop = s.BestEffort
 	}
 	return job, nil
+}
+
+// PlacementKey is the consistent-hash routing key a sharded daemon
+// places this spec with. Tenant wins when set, so a tenant's jobs
+// share a shard (quota enforcement and cross-job locality); otherwise
+// the idempotency key, so blind retries of a keyed submission land on
+// the shard that already owns the original; otherwise the job name;
+// otherwise a stable app+seed composite. Every fallback is derived
+// from the spec alone, so a resubmitted spec always routes the same.
+func (s JobSpec) PlacementKey() string {
+	if s.Tenant != "" {
+		return s.Tenant
+	}
+	if s.IdempotencyKey != "" {
+		return s.IdempotencyKey
+	}
+	if s.Name != "" {
+		return s.Name
+	}
+	return fmt.Sprintf("%s-%d", s.App, s.Seed)
 }
 
 // GenerateTrace builds a seeded submission trace of n jobs: a

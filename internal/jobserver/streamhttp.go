@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	"approxhadoop/internal/stream"
+	"approxhadoop/internal/wire"
 )
 
 // The streaming-plane HTTP API, mounted beside the batch routes:
@@ -101,7 +102,7 @@ func wireStream(st StreamState) WireStream {
 }
 
 func (d *Daemon) handleStreamOpen(w http.ResponseWriter, r *http.Request) {
-	if d.svc.Draining() {
+	if d.fleet.Draining() {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, ErrDraining)
 		return
@@ -149,41 +150,43 @@ func (d *Daemon) handleStreamStop(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "stopping"})
 }
 
-// handleStreamWatch writes JSONL WireWindows as windows close, ending
-// when the stream is terminal (final=true on the last frame of a
-// stream that drained normally).
+// handleStreamWatch serves a continuous query's window frames — JSONL
+// or negotiated binary — ending when the stream is terminal
+// (final=true on the last frame of a stream that drained normally).
+// Like /v1/jobs/{id}/stream, frames are encoded once and shared across
+// watchers, with drop-to-latest for watchers that fall too far behind.
 func (d *Daemon) handleStreamWatch(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, ok := d.streams.Info(id); !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no stream %q", id))
 		return
 	}
-	w.Header().Set("Content-Type", "application/jsonl")
+	binary := wantBinary(r)
+	if binary {
+		w.Header().Set("Content-Type", wire.ContentType)
+	} else {
+		w.Header().Set("Content-Type", "application/jsonl")
+	}
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	if flusher != nil {
 		flusher.Flush()
 	}
-	enc := json.NewEncoder(w)
 	cursor := 0
 	if from := r.URL.Query().Get("from"); from != "" {
 		if n, err := strconv.Atoi(from); err == nil && n > 0 {
 			cursor = n
 		}
 	}
+	lag := d.streamLag(r)
 	for {
-		fresh, status, next, err := d.streams.WatchFrom(id, cursor)
+		fresh, status, next, err := d.streams.WatchFramesFrom(id, cursor, lag)
 		if err != nil {
 			return
 		}
 		terminal := status.Terminal()
-		// WatchFrom clamps an out-of-range cursor; renumber from the true
-		// position so Seq always matches the window's series index.
-		cursor = next - len(fresh)
-		for i, win := range fresh {
-			frame := wireWindow(cursor+i, status, win)
-			frame.Final = terminal && status == StreamDone && cursor+i == next-1
-			if encErr := enc.Encode(frame); encErr != nil {
+		for _, f := range fresh {
+			if f.WriteTo(w, binary) != nil {
 				return // client went away
 			}
 		}
@@ -196,7 +199,7 @@ func (d *Daemon) handleStreamWatch(w http.ResponseWriter, r *http.Request) {
 				// Stopped/failed before any window (or a fully caught-up
 				// resume): emit one terminal frame so clients see an ending.
 				//lint:ignore errcheck the stream is ending either way
-				_ = enc.Encode(WireWindow{Seq: cursor, Status: status})
+				_ = synthWindowFrame(cursor, status).WriteTo(w, binary)
 				if flusher != nil {
 					flusher.Flush()
 				}

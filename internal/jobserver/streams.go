@@ -163,6 +163,10 @@ type StreamState struct {
 type streamEntry struct {
 	state    *StreamState // guarded by StreamSet.mu
 	canceled bool         // guarded by StreamSet.mu
+	// frames is the encode-once wire form of state.Windows: one shared
+	// buffer per Seq (see frames.go). Appends happen on the stream's
+	// pipeline goroutine; reads anywhere under StreamSet.mu.
+	frames []*encFrame
 }
 
 // StreamSet runs and tracks continuous queries. All methods are safe
@@ -229,13 +233,20 @@ func (s *StreamSet) Open(spec StreamSpec) (string, error) {
 // closed window as a watchable frame.
 func (s *StreamSet) run(e *streamEntry, p *stream.Pipeline) {
 	defer s.wg.Done()
+	seq := 0
 	err := p.RunEach(func(r stream.WindowResult) error {
+		// Encode the wire frame once, outside the lock (this pipeline
+		// goroutine is the stream's only frame producer); every watcher
+		// shares the buffer.
+		f := newWindowFrameEnc(wireWindow(seq, StreamRunning, r))
 		s.mu.Lock()
 		if e.canceled || s.closed {
 			s.mu.Unlock()
 			return errStreamCanceled
 		}
 		e.state.Windows = append(e.state.Windows, r)
+		e.frames = append(e.frames, f)
+		seq++
 		s.mu.Unlock()
 		s.cond.Broadcast()
 		return nil
@@ -250,6 +261,12 @@ func (s *StreamSet) run(e *streamEntry, p *stream.Pipeline) {
 		e.state.Err = err.Error()
 	default:
 		e.state.Status = StreamDone
+	}
+	if n := len(e.frames); n > 0 {
+		// The last published frame carries the terminal status (and
+		// final=true for a normal drain), in the same critical section
+		// as the status flip, so watchers observe both or neither.
+		e.frames[n-1] = restampWindowFrame(e.frames[n-1], e.state.Status)
 	}
 	s.running--
 	s.mu.Unlock()
@@ -326,6 +343,40 @@ func (s *StreamSet) WatchFrom(id string, have int) ([]stream.WindowResult, Strea
 		}
 		if s.closed {
 			return nil, st.Status, have, errors.New("jobserver: stream set shut down")
+		}
+		s.cond.Wait()
+	}
+}
+
+// WatchFramesFrom is the encode-once sibling of WatchFrom: it returns
+// the pre-encoded shared frames past `have` instead of the raw
+// windows. maxLag > 0 enables the slow-subscriber policy — a watcher
+// more than maxLag frames behind a live stream jumps to the latest
+// frame (the Seq gap is its drop signal); terminal streams replay in
+// full.
+func (s *StreamSet) WatchFramesFrom(id string, have, maxLag int) ([]*encFrame, StreamStatus, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if have < 0 {
+		have = 0
+	}
+	for {
+		e, ok := s.streams[id]
+		if !ok {
+			return nil, "", have, fmt.Errorf("jobserver: no stream %q", id)
+		}
+		if have > len(e.frames) {
+			have = len(e.frames)
+		}
+		if !e.state.Status.Terminal() && maxLag > 0 && len(e.frames)-have > maxLag {
+			have = len(e.frames) - 1
+		}
+		if len(e.frames) > have || e.state.Status.Terminal() {
+			fresh := e.frames[have:len(e.frames):len(e.frames)]
+			return fresh, e.state.Status, len(e.frames), nil
+		}
+		if s.closed {
+			return nil, e.state.Status, have, errors.New("jobserver: stream set shut down")
 		}
 		s.cond.Wait()
 	}

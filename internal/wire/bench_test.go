@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"io"
+	"testing"
+)
+
+// jobFrameEncodeAllocBaseline is the recorded allocs-per-encode of a
+// representative 3-estimate job frame into a reused buffer: zero. The
+// encode path must stay append-only — any per-frame allocation here is
+// multiplied by every snapshot of every job the daemon serves.
+// Re-record deliberately if the frame layout changes;
+// TestFrameEncodeAllocGuard fails CI when the live number drifts.
+const jobFrameEncodeAllocBaseline = 0
+
+// TestFrameEncodeAllocGuard is the allocation regression guard for
+// binary frame encoding, run by the CI bench job (same pattern as the
+// shuffle-arena guard in internal/mapreduce).
+func TestFrameEncodeAllocGuard(t *testing.T) {
+	jf := sampleJobFrame()
+	wf := sampleWindowFrame()
+	buf := make([]byte, 0, 1024)
+	jobAllocs := testing.AllocsPerRun(100, func() {
+		buf = AppendJobFrame(buf[:0], jf)
+	})
+	if jobAllocs > jobFrameEncodeAllocBaseline {
+		t.Errorf("job frame encode allocates %.0f times per frame, recorded baseline is %d",
+			jobAllocs, jobFrameEncodeAllocBaseline)
+	}
+	winAllocs := testing.AllocsPerRun(100, func() {
+		buf = AppendWindowFrame(buf[:0], wf)
+	})
+	if winAllocs > jobFrameEncodeAllocBaseline {
+		t.Errorf("window frame encode allocates %.0f times per frame, recorded baseline is %d",
+			winAllocs, jobFrameEncodeAllocBaseline)
+	}
+}
+
+// TestMulticastEncodeOnce proves the encode-once contract at the wire
+// layer: fanning one encoded frame out to any number of subscribers
+// performs zero additional encodes and zero per-subscriber encoding
+// allocations — the subscriber count multiplies only cheap writes.
+func TestMulticastEncodeOnce(t *testing.T) {
+	f := sampleJobFrame()
+	for _, subs := range []int{1, 64} {
+		before := Encodes()
+		payload := AppendJobFrame(make([]byte, 0, 1024), f) // produce once
+		for i := 0; i < subs; i++ {
+			if err := WriteFrame(io.Discard, payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := Encodes() - before; got != 1 {
+			t.Fatalf("%d subscribers cost %d encodes, want exactly 1", subs, got)
+		}
+	}
+}
+
+func BenchmarkJobFrameEncode(b *testing.B) {
+	f := sampleJobFrame()
+	buf := make([]byte, 0, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendJobFrame(buf[:0], f)
+	}
+}
+
+func BenchmarkWindowFrameEncode(b *testing.B) {
+	f := sampleWindowFrame()
+	buf := make([]byte, 0, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendWindowFrame(buf[:0], f)
+	}
+}
+
+func BenchmarkJobFrameDecode(b *testing.B) {
+	payload := AppendJobFrame(nil, sampleJobFrame())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeJobFrame(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,434 @@
+// Package wire is the compact binary frame format of the approxd
+// snapshot/stream fan-out path.
+//
+// The HTTP/JSON stream endpoints re-encoded every frame once per
+// subscriber; at fan-out that makes encoding the dominant serving
+// cost. This format is built to be encoded exactly once per sequence
+// number by the producer and then shared, as raw bytes, across every
+// subscriber of a job or stream:
+//
+//   - Canonical: one valid encoding per frame value. Encoding is a
+//     single code path, decoding rejects trailing bytes, so
+//     encode(decode(b)) == b and byte comparison is semantic
+//     comparison. That is what lets recovery and shard-count
+//     experiments diff streams with cmp/bytes.Equal.
+//   - Self-describing: every payload starts with magic, version, and a
+//     frame kind, so a reader on the wrong endpoint fails loudly
+//     instead of misparsing.
+//   - Length-prefixed: stream transport is a 4-byte little-endian
+//     payload length followed by the payload, so readers never need to
+//     parse ahead to find frame boundaries.
+//
+// Scalars: non-negative counters use uvarint, signed counters use
+// zigzag varint, floats are the 8 little-endian bytes of their IEEE754
+// bit pattern (NaN/Inf round-trip losslessly; the JSON -1 sentinel
+// convention is applied by the caller before encoding so both
+// representations of a frame agree), strings are uvarint length plus
+// bytes, and booleans pack into one flags byte per struct.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+)
+
+const (
+	// Magic tags every payload; it deliberately differs from '{' so a
+	// JSON reader pointed at a binary stream fails immediately.
+	Magic = 0xA9
+	// Version of the payload layout.
+	Version = 1
+
+	// KindJob is a batch-job snapshot frame (WireFrame equivalent).
+	KindJob = 0x01
+	// KindWindow is a streaming-plane window frame (WireWindow equivalent).
+	KindWindow = 0x02
+)
+
+// MaxFrameSize bounds a length-prefixed payload on the read side: far
+// above any real frame, far below a memory-exhaustion header.
+const MaxFrameSize = 16 << 20
+
+// ContentType is the negotiated media type of a binary frame stream.
+// Clients request it via the Accept header; servers that honor it echo
+// it back as Content-Type, and fall back to application/jsonl.
+const ContentType = "application/x-approx-frame"
+
+// encodes counts Append*Frame calls process-wide. The encode-once
+// multicast contract is observable: deliveries to any number of
+// subscribers must not move this counter, only frame production may.
+var encodes atomic.Uint64
+
+// Encodes reports the number of binary frame encodes performed by this
+// process. Tests and benchmarks diff it around a fan-out to prove
+// O(1) encodes per sequence number regardless of subscriber count.
+func Encodes() uint64 { return encodes.Load() }
+
+// Estimate mirrors one jobserver.WireEstimate.
+type Estimate struct {
+	Key        string
+	Value      float64
+	Epsilon    float64
+	Confidence float64
+	Lo         float64
+	Hi         float64
+	Exact      bool
+	Unbounded  bool
+}
+
+// JobFrame mirrors one jobserver.WireFrame.
+type JobFrame struct {
+	Seq       int
+	T         float64
+	Status    string
+	Final     bool
+	Estimates []Estimate
+}
+
+// WindowFrame mirrors one jobserver.WireWindow.
+type WindowFrame struct {
+	Seq        int
+	Status     string
+	Final      bool
+	Index      int64
+	Start      float64
+	End        float64
+	Records    int64
+	Strata     int
+	Processed  int
+	Folded     int64
+	Sampled    int64
+	Capacity   int
+	KeepFrac   float64
+	Degraded   bool
+	Partial    bool
+	Exact      bool
+	Latency    float64
+	Value      float64
+	Epsilon    float64
+	Confidence float64
+	Unbounded  bool
+}
+
+func appendFloat(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendJobFrame appends the canonical encoding of f to dst and
+// returns the extended slice. It allocates only when dst lacks
+// capacity, so a producer reusing a scratch buffer encodes
+// allocation-free except for the final retained copy.
+func AppendJobFrame(dst []byte, f *JobFrame) []byte {
+	encodes.Add(1)
+	dst = append(dst, Magic, Version, KindJob)
+	dst = binary.AppendUvarint(dst, uint64(f.Seq))
+	dst = appendFloat(dst, f.T)
+	dst = appendString(dst, f.Status)
+	var flags byte
+	if f.Final {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, uint64(len(f.Estimates)))
+	for i := range f.Estimates {
+		e := &f.Estimates[i]
+		dst = appendString(dst, e.Key)
+		dst = appendFloat(dst, e.Value)
+		dst = appendFloat(dst, e.Epsilon)
+		dst = appendFloat(dst, e.Confidence)
+		dst = appendFloat(dst, e.Lo)
+		dst = appendFloat(dst, e.Hi)
+		var ef byte
+		if e.Exact {
+			ef |= 1
+		}
+		if e.Unbounded {
+			ef |= 2
+		}
+		dst = append(dst, ef)
+	}
+	return dst
+}
+
+// AppendWindowFrame appends the canonical encoding of f to dst.
+func AppendWindowFrame(dst []byte, f *WindowFrame) []byte {
+	encodes.Add(1)
+	dst = append(dst, Magic, Version, KindWindow)
+	dst = binary.AppendUvarint(dst, uint64(f.Seq))
+	dst = appendString(dst, f.Status)
+	var flags byte
+	if f.Final {
+		flags |= 1
+	}
+	if f.Degraded {
+		flags |= 2
+	}
+	if f.Partial {
+		flags |= 4
+	}
+	if f.Exact {
+		flags |= 8
+	}
+	if f.Unbounded {
+		flags |= 16
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendVarint(dst, f.Index)
+	dst = appendFloat(dst, f.Start)
+	dst = appendFloat(dst, f.End)
+	dst = binary.AppendVarint(dst, f.Records)
+	dst = binary.AppendUvarint(dst, uint64(f.Strata))
+	dst = binary.AppendUvarint(dst, uint64(f.Processed))
+	dst = binary.AppendVarint(dst, f.Folded)
+	dst = binary.AppendVarint(dst, f.Sampled)
+	dst = binary.AppendUvarint(dst, uint64(f.Capacity))
+	dst = appendFloat(dst, f.KeepFrac)
+	dst = appendFloat(dst, f.Latency)
+	dst = appendFloat(dst, f.Value)
+	dst = appendFloat(dst, f.Epsilon)
+	dst = appendFloat(dst, f.Confidence)
+	return dst
+}
+
+// reader is a bounds-checked cursor over one payload.
+type reader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: truncated or malformed %s at offset %d", what, r.pos)
+	}
+}
+
+func (r *reader) byte(what string) byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := r.b[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *reader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) varint(what string) int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.pos:])
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) float(what string) float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos+8 > len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.pos:]))
+	r.pos += 8
+	return v
+}
+
+func (r *reader) string(what string) string {
+	n := r.uvarint(what + " length")
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.b)-r.pos) {
+		r.fail(what)
+		return ""
+	}
+	s := string(r.b[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s
+}
+
+// header validates magic/version and returns the frame kind.
+func (r *reader) header() byte {
+	m := r.byte("magic")
+	v := r.byte("version")
+	k := r.byte("kind")
+	if r.err != nil {
+		return 0
+	}
+	if m != Magic {
+		r.err = fmt.Errorf("wire: bad magic 0x%02x (want 0x%02x)", m, Magic)
+		return 0
+	}
+	if v != Version {
+		r.err = fmt.Errorf("wire: unsupported version %d (want %d)", v, Version)
+		return 0
+	}
+	return k
+}
+
+func (r *reader) finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.pos != len(r.b) {
+		return fmt.Errorf("wire: %d trailing bytes after frame", len(r.b)-r.pos)
+	}
+	return nil
+}
+
+// Kind inspects a payload's header and reports its frame kind without
+// decoding the body.
+func Kind(payload []byte) (byte, error) {
+	r := &reader{b: payload}
+	k := r.header()
+	if r.err != nil {
+		return 0, r.err
+	}
+	return k, nil
+}
+
+// DecodeJobFrame decodes one canonical KindJob payload. The whole
+// payload must be consumed; trailing bytes are an error.
+func DecodeJobFrame(payload []byte) (*JobFrame, error) {
+	r := &reader{b: payload}
+	if k := r.header(); r.err == nil && k != KindJob {
+		return nil, fmt.Errorf("wire: kind 0x%02x is not a job frame", k)
+	}
+	f := &JobFrame{}
+	f.Seq = int(r.uvarint("seq"))
+	f.T = r.float("t")
+	f.Status = r.string("status")
+	flags := r.byte("flags")
+	f.Final = flags&1 != 0
+	n := r.uvarint("estimate count")
+	if r.err == nil && n > uint64(len(payload)) {
+		// Each estimate is >1 byte, so a count beyond the payload length
+		// is corrupt; reject before allocating.
+		return nil, fmt.Errorf("wire: estimate count %d exceeds payload", n)
+	}
+	if r.err == nil && n > 0 {
+		f.Estimates = make([]Estimate, n)
+		for i := range f.Estimates {
+			e := &f.Estimates[i]
+			e.Key = r.string("estimate key")
+			e.Value = r.float("estimate value")
+			e.Epsilon = r.float("estimate epsilon")
+			e.Confidence = r.float("estimate confidence")
+			e.Lo = r.float("estimate lo")
+			e.Hi = r.float("estimate hi")
+			ef := r.byte("estimate flags")
+			e.Exact = ef&1 != 0
+			e.Unbounded = ef&2 != 0
+		}
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// DecodeWindowFrame decodes one canonical KindWindow payload.
+func DecodeWindowFrame(payload []byte) (*WindowFrame, error) {
+	r := &reader{b: payload}
+	if k := r.header(); r.err == nil && k != KindWindow {
+		return nil, fmt.Errorf("wire: kind 0x%02x is not a window frame", k)
+	}
+	f := &WindowFrame{}
+	f.Seq = int(r.uvarint("seq"))
+	f.Status = r.string("status")
+	flags := r.byte("flags")
+	f.Final = flags&1 != 0
+	f.Degraded = flags&2 != 0
+	f.Partial = flags&4 != 0
+	f.Exact = flags&8 != 0
+	f.Unbounded = flags&16 != 0
+	f.Index = r.varint("index")
+	f.Start = r.float("start")
+	f.End = r.float("end")
+	f.Records = r.varint("records")
+	f.Strata = int(r.uvarint("strata"))
+	f.Processed = int(r.uvarint("processed"))
+	f.Folded = r.varint("folded")
+	f.Sampled = r.varint("sampled")
+	f.Capacity = int(r.uvarint("capacity"))
+	f.KeepFrac = r.float("keepFrac")
+	f.Latency = r.float("latency")
+	f.Value = r.float("value")
+	f.Epsilon = r.float("epsilon")
+	f.Confidence = r.float("confidence")
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// WriteFrame writes one length-prefixed payload: 4-byte little-endian
+// length, then the payload bytes.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds max %d", len(payload), MaxFrameSize)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed payload. io.EOF at a frame
+// boundary is returned as-is (clean end of stream); a partial header
+// or body reports io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("wire: torn frame header: %w", err)
+		}
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("wire: frame length %d exceeds max %d", n, MaxFrameSize)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("wire: torn frame body: %w", io.ErrUnexpectedEOF)
+		}
+		return nil, err
+	}
+	return payload, nil
+}
